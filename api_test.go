@@ -1,0 +1,143 @@
+package heteromem_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"heteromem"
+	"heteromem/internal/addrspace"
+	"heteromem/internal/workload"
+)
+
+// These tests exercise the public facade exactly as the README and
+// examples present it.
+
+func TestFacadeKernels(t *testing.T) {
+	kernels := heteromem.Kernels()
+	if len(kernels) != 6 {
+		t.Fatalf("kernels = %v", kernels)
+	}
+	for _, k := range kernels {
+		p, err := heteromem.GenerateKernel(k)
+		if err != nil {
+			t.Fatalf("GenerateKernel(%q): %v", k, err)
+		}
+		if p.Name != k {
+			t.Errorf("program name %q for kernel %q", p.Name, k)
+		}
+	}
+	if _, err := heteromem.GenerateKernel("bogus"); err == nil {
+		t.Error("bogus kernel accepted")
+	}
+}
+
+func TestFacadeRunKernel(t *testing.T) {
+	res, err := heteromem.RunKernel(heteromem.CPUGPU(), "reduction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "CPU+GPU" || res.Kernel != "reduction" {
+		t.Fatalf("result identity: %s/%s", res.System, res.Kernel)
+	}
+	if res.Total() == 0 || res.Communication == 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestFacadeCaseStudies(t *testing.T) {
+	cs := heteromem.CaseStudies()
+	if len(cs) != 5 {
+		t.Fatalf("case studies = %d", len(cs))
+	}
+	names := []string{}
+	for _, s := range cs {
+		names = append(names, s.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"CPU+GPU", "LRB", "GMAC", "Fusion", "IDEAL-HETERO"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing system %q in %v", want, names)
+		}
+	}
+}
+
+func TestFacadeSpace(t *testing.T) {
+	sp, err := heteromem.NewSpace(heteromem.PartiallyShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.HasOwnership() {
+		t.Error("partially shared space lacks ownership")
+	}
+	if _, err := heteromem.NewSpace(heteromem.Model(99)); err == nil {
+		t.Error("invalid model accepted")
+	}
+	dis, _ := heteromem.NewSpace(heteromem.Disjoint)
+	if _, err := dis.Alloc(4096, addrspace.Shared); !errors.Is(err, addrspace.ErrRegionUnsupported) {
+		t.Errorf("disjoint shared alloc: %v", err)
+	}
+}
+
+func TestFacadeLocalityOptions(t *testing.T) {
+	pas := len(heteromem.LocalityOptions(heteromem.PartiallyShared))
+	uni := len(heteromem.LocalityOptions(heteromem.Unified))
+	if pas <= uni {
+		t.Fatalf("PAS options (%d) not more than unified (%d)", pas, uni)
+	}
+}
+
+func TestFacadeSweepAndRender(t *testing.T) {
+	cells, err := heteromem.RunCaseStudies([]string{"reduction"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := heteremFigure5(cells); !strings.Contains(out, "reduction") {
+		t.Error("Figure 5 render missing kernel")
+	}
+}
+
+func heteremFigure5(cells []heteromem.Cell) string {
+	return heteromem.RenderFigure5(cells)
+}
+
+func TestFacadeSimulatorOptions(t *testing.T) {
+	s, err := heteromem.NewSimulatorWithOptions(heteromem.IdealHetero(), heteromem.Options{DisableCoalescing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(workload.MustGenerate("reduction"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPU.LineRequests == 0 {
+		t.Fatal("no GPU requests recorded")
+	}
+}
+
+func TestFacadeEnergyAndScores(t *testing.T) {
+	res, err := heteromem.RunKernel(heteromem.Fusion(), "reduction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := heteromem.EstimateEnergy(res)
+	if e.Total() <= 0 {
+		t.Fatalf("energy %v", e)
+	}
+	scores, err := heteromem.ScoreDesigns([]string{"reduction"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 4 || scores[0].Model != heteromem.PartiallyShared {
+		t.Fatalf("scores: %+v", scores)
+	}
+}
+
+func TestFacadeSystemForModel(t *testing.T) {
+	for _, m := range []heteromem.Model{heteromem.Unified, heteromem.Disjoint, heteromem.PartiallyShared, heteromem.ADSM} {
+		sys := heteromem.SystemForModel(m)
+		if sys.Model != m {
+			t.Errorf("SystemForModel(%v).Model = %v", m, sys.Model)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index), plus ablation benches
+// for the design decisions the implementation makes. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Table and figure benches print their artifact once (first iteration)
+// so a bench run leaves the regenerated evaluation in its log.
+package heteromem_test
+
+import (
+	"sync"
+	"testing"
+
+	"heteromem"
+	"heteromem/internal/cache"
+	"heteromem/internal/clock"
+	"heteromem/internal/config"
+	"heteromem/internal/cpu"
+	"heteromem/internal/dram"
+	"heteromem/internal/harness"
+	"heteromem/internal/mem"
+	"heteromem/internal/sim"
+	"heteromem/internal/systems"
+	"heteromem/internal/workload"
+)
+
+var printOnce sync.Map
+
+func printArtifact(b *testing.B, key, artifact string) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(key, true); !done {
+		b.Log("\n" + artifact)
+	}
+}
+
+// --- Tables ---
+
+func BenchmarkTable1SystemsSurvey(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = harness.RenderTable1()
+	}
+	printArtifact(b, "t1", out)
+}
+
+func BenchmarkTable2BaselineConfig(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = harness.RenderTable2()
+	}
+	printArtifact(b, "t2", out)
+}
+
+func BenchmarkTable3BenchmarkCharacteristics(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = harness.RenderTable3()
+	}
+	printArtifact(b, "t3", out)
+}
+
+func BenchmarkTable4CommParameters(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = harness.RenderTable4()
+	}
+	printArtifact(b, "t4", out)
+}
+
+func BenchmarkTable5SourceLines(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = harness.RenderTable5()
+	}
+	printArtifact(b, "t5", out)
+}
+
+// --- Figures ---
+
+// figureKernels is the full Table III set: the paper's Figures 5-7 sweep
+// all six kernels.
+var figureKernels = harness.DefaultKernels()
+
+var caseStudyCells = sync.OnceValues(func() ([]harness.Cell, error) {
+	return harness.RunCaseStudies(figureKernels)
+})
+
+func BenchmarkFigure5CaseStudies(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		cells, err := caseStudyCells()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderFigure5(cells)
+	}
+	printArtifact(b, "f5", out)
+}
+
+func BenchmarkFigure6CommOverhead(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		cells, err := caseStudyCells()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderFigure6(cells)
+	}
+	printArtifact(b, "f6", out)
+}
+
+func BenchmarkFigure7AddressSpaces(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.RunAddressSpaces(figureKernels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderFigure7(cells)
+	}
+	printArtifact(b, "f7", out)
+}
+
+// --- Simulator throughput on each kernel ---
+
+func BenchmarkSimulateKernel(b *testing.B) {
+	for _, kernel := range workload.Names() {
+		b.Run(kernel, func(b *testing.B) {
+			p := workload.MustGenerate(kernel)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := heteromem.NewSimulator(heteromem.CPUGPU())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(p.TotalInstructions()), "insts/run")
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md section 5) ---
+
+// BenchmarkAblationDRAMScheduling compares FR-FCFS against FCFS on a
+// row-ping-pong batch, the access pattern the scheduler exists for.
+func BenchmarkAblationDRAMScheduling(b *testing.B) {
+	mkBatch := func(cfg dram.Config) []dram.Request {
+		// Alternate between two rows of channel 0, bank 0: with plain
+		// interleaving (no bank partitioning) a same-bank line recurs
+		// every channels*banks lines, and the row turns over every
+		// RowBytes/LineBytes of those.
+		bankStride := uint64(cfg.Channels * cfg.BanksPerChannel * cfg.LineBytes)
+		rowStride := bankStride * uint64(cfg.RowBytes/cfg.LineBytes)
+		reqs := make([]dram.Request, 64)
+		for i := range reqs {
+			addr := uint64(i/2) * bankStride
+			if i%2 == 1 {
+				addr += rowStride
+			}
+			reqs[i] = dram.Request{Addr: addr, Arrival: clock.Time(i)}
+		}
+		return reqs
+	}
+	for _, policy := range []dram.Policy{dram.FRFCFS, dram.FCFS} {
+		b.Run(policy.String(), func(b *testing.B) {
+			cfg := dram.DDR3_1333()
+			cfg.Scheduling = policy
+			cfg.PartitionRegionBit = 0
+			var last clock.Time
+			for i := 0; i < b.N; i++ {
+				c := dram.MustNew(cfg)
+				for _, t := range c.SubmitBatch(mkBatch(cfg)) {
+					last = clock.Max(last, t)
+				}
+			}
+			b.ReportMetric(float64(last)/1000, "finish_ns")
+		})
+	}
+}
+
+// BenchmarkAblationLocalityBit measures critical-block survival under an
+// implicit-traffic flood with and without the locality bit (II-B5).
+func BenchmarkAblationLocalityBit(b *testing.B) {
+	run := func(policy cache.Policy) (survived int) {
+		cfg := cache.Config{
+			Name: "l2", SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, Policy: policy,
+		}
+		if policy == cache.LocalityAware {
+			cfg.MaxExplicitWays = 4
+		}
+		c := cache.MustNew(cfg)
+		var critical []uint64
+		for set := 0; set < c.Sets(); set += 4 {
+			addr := uint64(set * 64)
+			c.Fill(addr, true, false)
+			critical = append(critical, addr)
+		}
+		for i := 0; i < 4*64<<10/64; i++ {
+			c.Fill(uint64(0x1000000+i*64), false, false)
+		}
+		for _, a := range critical {
+			if c.Probe(a) {
+				survived++
+			}
+		}
+		return survived
+	}
+	for _, policy := range []cache.Policy{cache.LocalityAware, cache.LRU} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var survived int
+			for i := 0; i < b.N; i++ {
+				survived = run(policy)
+			}
+			b.ReportMetric(float64(survived), "critical_survived")
+		})
+	}
+}
+
+// BenchmarkAblationAsyncCopy compares GMAC's asynchronous copies against
+// a synchronous variant of the same system.
+func BenchmarkAblationAsyncCopy(b *testing.B) {
+	syncGMAC := systems.GMAC()
+	syncGMAC.Name = "GMAC-sync"
+	syncGMAC.Fabric = systems.FabricPCIe
+	p := workload.MustGenerate("reduction")
+	for _, sys := range []systems.System{systems.GMAC(), syncGMAC} {
+		b.Run(sys.Name, func(b *testing.B) {
+			var total clock.Duration
+			for i := 0; i < b.N; i++ {
+				s, err := sim.New(sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Total()
+			}
+			b.ReportMetric(total.Microseconds(), "sim_us")
+		})
+	}
+}
+
+// BenchmarkAblationCoherence measures what "free" hardware coherence
+// actually costs: a write ping-pong between the PUs with and without the
+// directory protocol. This quantifies the paper's motivation for
+// exploring alternatives to a unified fully-coherent space.
+func BenchmarkAblationCoherence(b *testing.B) {
+	run := func(mode mem.CoherenceMode) clock.Duration {
+		cfg := mem.TableII()
+		cfg.Coherence = mode
+		h := mem.MustNew(cfg)
+		var now clock.Time
+		for i := 0; i < 2000; i++ {
+			// Alternate the PUs over the same 32 lines so every write
+			// ping-pongs ownership.
+			pu := mem.PU(i % 2)
+			now = h.Access(pu, uint64(i/2%32)*64, true, now)
+		}
+		return now.Sub(0)
+	}
+	for _, mode := range []mem.CoherenceMode{mem.CoherenceNone, mem.CoherenceDirectory} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var d clock.Duration
+			for i := 0; i < b.N; i++ {
+				d = run(mode)
+			}
+			b.ReportMetric(d.Microseconds(), "pingpong_us")
+		})
+	}
+}
+
+// BenchmarkAblationConsistency measures the strongly-consistent half of
+// the paper's "ideal" memory system: sequential consistency serialises
+// every store, weak consistency absorbs them in the store buffer.
+func BenchmarkAblationConsistency(b *testing.B) {
+	p := workload.MustGenerate("merge-sort") // store-heavy
+	for _, strong := range []bool{false, true} {
+		name := "weak"
+		if strong {
+			name = "strong"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total clock.Duration
+			for i := 0; i < b.N; i++ {
+				cfg := config.BaselineCPU()
+				cfg.StrongConsistency = strong
+				h := mem.MustNew(mem.TableII())
+				core := cpu.New(cfg, h, systems.IdealHetero().Params.Latency)
+				var end clock.Time
+				for _, ph := range p.Phases {
+					if len(ph.CPU) > 0 {
+						end, _ = core.Run(ph.CPU, end)
+					}
+				}
+				total = end.Sub(0)
+			}
+			b.ReportMetric(total.Microseconds(), "cpu_us")
+		})
+	}
+}
+
+// BenchmarkAblationFaultGranularity compares LRB with large (per-object)
+// pages against host-sized 4 KB pages behind its first-touch faults —
+// the Section II-A1 page-size option quantified.
+func BenchmarkAblationFaultGranularity(b *testing.B) {
+	p := workload.MustGenerate("reduction")
+	for _, granule := range []uint64{0, 4096} {
+		name := "large-pages"
+		if granule != 0 {
+			name = "4KB-pages"
+		}
+		b.Run(name, func(b *testing.B) {
+			var comm clock.Duration
+			for i := 0; i < b.N; i++ {
+				sys := systems.LRB()
+				sys.FaultGranularityBytes = granule
+				s, err := sim.New(sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				comm = res.Communication
+			}
+			b.ReportMetric(comm.Microseconds(), "comm_us")
+		})
+	}
+}
+
+// BenchmarkSensitivityTransferVolume sweeps reduction's communication
+// volume, showing how the system orderings shift with transfer size.
+func BenchmarkSensitivityTransferVolume(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		points, err := harness.RunTransferSensitivity("reduction", []float64{0.5, 1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderSensitivity("reduction", points)
+	}
+	printArtifact(b, "sens", out)
+}
+
+// BenchmarkAblationCoalescing compares the GPU front-end with and without
+// memory-request coalescing.
+func BenchmarkAblationCoalescing(b *testing.B) {
+	p := workload.MustGenerate("convolution")
+	for _, disable := range []bool{false, true} {
+		name := "coalesced"
+		if disable {
+			name = "per-lane"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total clock.Duration
+			for i := 0; i < b.N; i++ {
+				s, err := heteromem.NewSimulatorWithOptions(heteromem.IdealHetero(),
+					heteromem.Options{DisableCoalescing: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Total()
+			}
+			b.ReportMetric(total.Microseconds(), "sim_us")
+		})
+	}
+}

@@ -1,0 +1,169 @@
+// Command hetsim runs one kernel on one heterogeneous system
+// configuration and prints the execution-time breakdown and memory-system
+// statistics.
+//
+// Usage:
+//
+//	hetsim -system LRB -kernel reduction
+//	hetsim -all -kernel merge-sort
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"heteromem/internal/energy"
+	"heteromem/internal/locality"
+	"heteromem/internal/report"
+	"heteromem/internal/sim"
+	"heteromem/internal/systems"
+	"heteromem/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetsim: ")
+	var (
+		system   = flag.String("system", "CPU+GPU", "system configuration: CPU+GPU, LRB, GMAC, Fusion, IDEAL-HETERO")
+		kernel   = flag.String("kernel", "reduction", "kernel: "+strings.Join(workload.Names(), ", "))
+		program  = flag.String("program", "", "run a saved program file (from hettrace -saveprog) instead of a named kernel")
+		all      = flag.Bool("all", false, "run every system on the kernel")
+		verbose  = flag.Bool("v", false, "print per-component statistics")
+		loc      = flag.String("locality", "", "apply a locality scheme: expl-shared, expl-private, or hybrid")
+		energyOn = flag.Bool("energy", false, "print the estimated energy breakdown")
+	)
+	flag.Parse()
+
+	opts := sim.Options{}
+	if *loc != "" {
+		scheme, err := schemeByName(*loc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Locality = &scheme
+	}
+
+	var p *workload.Program
+	var err error
+	if *program != "" {
+		f, err := os.Open(*program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err = workload.LoadProgram(f)
+		closeErr := f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if closeErr != nil {
+			log.Fatal(closeErr)
+		}
+	} else {
+		p, err = workload.Generate(*kernel)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var sysList []systems.System
+	if *all {
+		sysList = systems.CaseStudies()
+	} else {
+		s, err := findSystem(*system)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sysList = []systems.System{s}
+	}
+
+	tbl := report.Table{
+		Title:   fmt.Sprintf("%s (%s pattern, %d instructions)", p.Name, p.Pattern, p.TotalInstructions()),
+		Headers: []string{"system", "sequential", "parallel", "communication", "total", "comm share"},
+	}
+	var results []sim.Result
+	for _, sys := range sysList {
+		s, err := sim.NewWithOptions(sys, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		tbl.AddRow(sys.Name,
+			report.Dur(res.Sequential), report.Dur(res.Parallel),
+			report.Dur(res.Communication), report.Dur(res.Total()),
+			report.Pct(res.CommFraction()))
+	}
+	fmt.Print(tbl.String())
+
+	if *verbose {
+		for _, res := range results {
+			printDetail(res)
+		}
+	}
+	if *energyOn {
+		etbl := report.Table{
+			Title:   "estimated energy (nJ)",
+			Headers: []string{"system", "cores", "caches", "dram", "noc", "comm", "total"},
+		}
+		for _, res := range results {
+			e := energy.EstimateDefault(res)
+			etbl.AddRow(res.System,
+				fmt.Sprintf("%.0f", e.Cores), fmt.Sprintf("%.0f", e.Caches),
+				fmt.Sprintf("%.0f", e.DRAM), fmt.Sprintf("%.0f", e.Interconnect),
+				fmt.Sprintf("%.0f", e.Communication), fmt.Sprintf("%.0f", e.Total()))
+		}
+		fmt.Println()
+		fmt.Print(etbl.String())
+	}
+	_ = os.Stdout.Sync()
+}
+
+func schemeByName(name string) (locality.Scheme, error) {
+	switch name {
+	case "expl-shared":
+		return locality.ImplPrivExplShared, nil
+	case "expl-private":
+		return locality.ExplPrivImplShared, nil
+	case "hybrid":
+		return locality.HybridShared, nil
+	}
+	return locality.Scheme{}, fmt.Errorf("unknown locality scheme %q (expl-shared, expl-private, hybrid)", name)
+}
+
+func findSystem(name string) (systems.System, error) {
+	for _, s := range systems.CaseStudies() {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range systems.CaseStudies() {
+		names = append(names, s.Name)
+	}
+	return systems.System{}, fmt.Errorf("unknown system %q (have %s)", name, strings.Join(names, ", "))
+}
+
+func printDetail(res sim.Result) {
+	tbl := report.Table{
+		Title:   fmt.Sprintf("%s details", res.System),
+		Headers: []string{"metric", "value"},
+	}
+	tbl.AddRow("cpu instructions", res.CPU.Instructions)
+	tbl.AddRow("cpu mispredicts", res.CPU.Mispredicts)
+	tbl.AddRow("gpu instructions", res.GPU.Instructions)
+	tbl.AddRow("gpu line requests", res.GPU.LineRequests)
+	tbl.AddRow("page faults (lib-pf)", res.PageFaults)
+	tbl.AddRow("ownership ops", res.OwnershipOps)
+	tbl.AddRow("fabric", res.Fabric.String())
+	tbl.AddRow("dram fills cpu/gpu", fmt.Sprintf("%d/%d", res.Mem.DRAMFills[0], res.Mem.DRAMFills[1]))
+	tbl.AddRow("L3 hits cpu/gpu", fmt.Sprintf("%d/%d", res.Mem.L3Hits[0], res.Mem.L3Hits[1]))
+	tbl.AddRow("page-table map updates", fmt.Sprintf("cpu %d, gpu %d", res.Space.MapUpdates[0], res.Space.MapUpdates[1]))
+	fmt.Println()
+	fmt.Print(tbl.String())
+}

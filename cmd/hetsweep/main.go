@@ -1,0 +1,167 @@
+// Command hetsweep regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hetsweep -table 1          # Table I survey
+//	hetsweep -figure 5         # Figure 5 case studies (full kernels)
+//	hetsweep -figure 5 -quick  # small kernels only
+//	hetsweep -all              # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"heteromem/internal/guideline"
+	"heteromem/internal/harness"
+	"heteromem/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetsweep: ")
+	var (
+		table       = flag.Int("table", 0, "regenerate table N (1-5)")
+		figure      = flag.Int("figure", 0, "regenerate figure N (5-7)")
+		all         = flag.Bool("all", false, "regenerate every table and figure")
+		quick       = flag.Bool("quick", false, "use the small kernels only (faster)")
+		sensitivity = flag.String("sensitivity", "", "transfer-volume sensitivity sweep for the named kernel")
+		guide       = flag.Bool("guideline", false, "score the address-space models and recommend one (Section VII future work)")
+		csvPath     = flag.String("csv", "", "also write the case-study sweep as CSV to this file")
+		energyOut   = flag.Bool("energy", false, "print the energy breakdown for the case-study sweep")
+	)
+	flag.Parse()
+
+	kernels := harness.DefaultKernels()
+	if *quick {
+		kernels = harness.QuickKernels()
+	}
+
+	if *sensitivity != "" {
+		points, err := harness.RunTransferSensitivity(*sensitivity, []float64{0.25, 0.5, 1, 2, 4, 8, 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(harness.RenderSensitivity(*sensitivity, points))
+		return
+	}
+	if *guide {
+		printGuideline(kernels)
+		return
+	}
+	if !*all && *table == 0 && *figure == 0 && !*energyOut && *csvPath == "" {
+		flag.Usage()
+		return
+	}
+
+	tables := map[int]func() string{
+		1: harness.RenderTable1,
+		2: harness.RenderTable2,
+		3: harness.RenderTable3,
+		4: harness.RenderTable4,
+		5: harness.RenderTable5,
+	}
+
+	emitTable := func(n int) {
+		f, ok := tables[n]
+		if !ok {
+			log.Fatalf("no table %d (have 1-5)", n)
+		}
+		fmt.Println(f())
+	}
+
+	var caseCells []harness.Cell
+	caseStudies := func() []harness.Cell {
+		if caseCells == nil {
+			var err error
+			caseCells, err = harness.RunCaseStudies(kernels)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		return caseCells
+	}
+
+	emitFigure := func(n int) {
+		switch n {
+		case 5:
+			fmt.Println(harness.RenderFigure5(caseStudies()))
+		case 6:
+			fmt.Println(harness.RenderFigure6(caseStudies()))
+		case 7:
+			cells, err := harness.RunAddressSpaces(kernels)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(harness.RenderFigure7(cells))
+		default:
+			log.Fatalf("no figure %d (have 5-7)", n)
+		}
+	}
+
+	if *all {
+		for n := 1; n <= 5; n++ {
+			emitTable(n)
+		}
+		for n := 5; n <= 7; n++ {
+			emitFigure(n)
+		}
+		fmt.Println(harness.RenderLocalityOptions())
+		fmt.Println(harness.RenderEnergy(caseStudies()))
+		printGuideline(kernels)
+		if *csvPath != "" {
+			writeCSV(*csvPath, caseStudies())
+		}
+		return
+	}
+	if *table != 0 {
+		emitTable(*table)
+	}
+	if *figure != 0 {
+		emitFigure(*figure)
+	}
+	if *energyOut {
+		fmt.Println(harness.RenderEnergy(caseStudies()))
+	}
+	if *csvPath != "" {
+		writeCSV(*csvPath, caseStudies())
+	}
+}
+
+func writeCSV(path string, cells []harness.Cell) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := harness.WriteCSV(f, cells); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d rows to %s\n", len(cells), path)
+}
+
+func printGuideline(kernels []string) {
+	scores, err := guideline.Evaluate(kernels, guideline.DefaultWeights())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := report.Table{
+		Title: "Design-option efficiency (Section VII future work; equal weights)",
+		Headers: []string{"model", "perf overhead vs ideal", "comm source lines",
+			"locality options", "coherence cost", "composite"},
+	}
+	for _, s := range scores {
+		tbl.AddRow(s.Model, report.Pct(s.PerfOverhead), s.CommLines,
+			s.LocalityOptions, s.HardwareCost, report.F3(s.Composite))
+	}
+	fmt.Println(tbl.String())
+	best, why, err := guideline.Recommend(kernels, guideline.DefaultWeights())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recommendation: %v (%s)\n", best, why)
+}

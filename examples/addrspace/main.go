@@ -1,0 +1,83 @@
+// Address spaces: exercise the semantic differences of the four memory
+// address-space models directly (allocation rules, accessibility,
+// ownership, page-table cost), then reproduce the Figure 7 result that
+// the address space alone does not change performance.
+//
+//	go run ./examples/addrspace
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"heteromem"
+	"heteromem/internal/addrspace"
+	"heteromem/internal/mem"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("== Semantics per model ==")
+	for _, m := range []heteromem.Model{heteromem.Unified, heteromem.Disjoint, heteromem.PartiallyShared, heteromem.ADSM} {
+		demo(m)
+	}
+
+	fmt.Println("== Figure 7: performance under ideal communication ==")
+	cells, err := heteromem.RunAddressSpaces([]string{"reduction"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(heteromem.RenderFigure7(cells))
+	fmt.Println("\nThe address space design itself does not affect performance;")
+	fmt.Println("it is about programmability (Section V-B).")
+}
+
+func demo(m heteromem.Model) {
+	sp, err := heteromem.NewSpace(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%v:\n", m)
+
+	// Can we allocate in the shared region at all?
+	shared, err := sp.Alloc(8192, addrspace.Shared)
+	if errors.Is(err, addrspace.ErrRegionUnsupported) {
+		fmt.Println("  no shared region: all sharing is by explicit copies")
+	} else if err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("  shared object at %#x, mapped in CPU and GPU page tables\n", shared.Base)
+	}
+
+	// Who can touch a CPU-private allocation?
+	cpuObj, err := sp.Alloc(4096, addrspace.CPUPrivate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpuErr := sp.CheckAccess(mem.GPU, cpuObj.Base)
+	switch {
+	case gpuErr == nil:
+		fmt.Println("  GPU can address CPU-private data directly")
+	case errors.Is(gpuErr, addrspace.ErrInaccessible):
+		fmt.Println("  GPU cannot address CPU-private data")
+	default:
+		fmt.Printf("  GPU access: %v\n", gpuErr)
+	}
+
+	// Ownership protocol (partially shared only).
+	if sp.HasOwnership() {
+		if err := sp.Release(mem.CPU, shared); err != nil {
+			log.Fatal(err)
+		}
+		if err := sp.Acquire(mem.GPU, shared); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  ownership handed CPU -> GPU; CPU access now rejected:",
+			errors.Is(sp.CheckAccess(mem.CPU, shared.Base), addrspace.ErrNotOwner))
+	}
+
+	st := sp.Stats()
+	fmt.Printf("  page-table updates: CPU %d, GPU %d\n", st.MapUpdates[mem.CPU], st.MapUpdates[mem.GPU])
+}

@@ -1,0 +1,43 @@
+// Case study: reproduce the Figure 5/6 comparison of the five
+// heterogeneous systems on the small kernels.
+//
+//	go run ./examples/casestudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteromem"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Sweep the five systems of Section V-A — CPU+GPU(CUDA), LRB, GMAC,
+	// Fusion and IDEAL-HETERO — over the fast kernels. (The hetsweep tool
+	// runs the full Table III set.)
+	kernels := []string{"reduction", "merge-sort"}
+	cells, err := heteromem.RunCaseStudies(kernels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(heteromem.RenderFigure5(cells))
+	fmt.Print(heteromem.RenderFigure6(cells))
+
+	// The paper's qualitative conclusions, recomputed from this run.
+	byKey := map[string]heteromem.Cell{}
+	for _, c := range cells {
+		byKey[c.System+"/"+c.Kernel] = c
+	}
+	for _, k := range kernels {
+		ideal := byKey["IDEAL-HETERO/"+k].Result
+		fusion := byKey["Fusion/"+k].Result
+		cuda := byKey["CPU+GPU/"+k].Result
+		fmt.Printf("%s: CPU+GPU is %.1f%% slower than IDEAL-HETERO; Fusion only %.1f%% slower\n",
+			k,
+			(float64(cuda.Total())/float64(ideal.Total())-1)*100,
+			(float64(fusion.Total())/float64(ideal.Total())-1)*100)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: run one kernel on two memory-system designs and compare
+// the execution-time breakdown.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteromem"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The reduction kernel from the paper's Table III: the input starts
+	// on the CPU, both PUs compute half each, the CPU merges.
+	p, err := heteromem.GenerateKernel("reduction")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel %s: %s, %d instructions\n\n", p.Name, p.Pattern, p.TotalInstructions())
+
+	// Compare a CUDA-style disjoint memory space against the ideal
+	// unified, fully coherent design.
+	for _, sys := range []heteromem.System{heteromem.CPUGPU(), heteromem.IdealHetero()} {
+		res, err := heteromem.RunKernel(sys, "reduction")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s total %v\n", sys.Name, res.Total())
+		fmt.Printf("    sequential    %v\n", res.Sequential)
+		fmt.Printf("    parallel      %v\n", res.Parallel)
+		fmt.Printf("    communication %v (%.1f%%)\n\n", res.Communication, res.CommFraction()*100)
+	}
+
+	fmt.Println("The disjoint space pays explicit PCI-E copies in both directions;")
+	fmt.Println("the unified coherent design communicates for free. The compute")
+	fmt.Println("phases are identical — the memory model only changes communication.")
+}

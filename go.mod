@@ -1,0 +1,3 @@
+module heteromem
+
+go 1.22

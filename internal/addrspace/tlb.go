@@ -1,0 +1,151 @@
+package addrspace
+
+import (
+	"fmt"
+	"math/bits"
+
+	"heteromem/internal/mem"
+)
+
+// TLB models a per-PU translation lookaside buffer. Section II-A1 notes
+// that a virtually unified address space lets each PU pick its own page
+// size — GPUs use large pages to cover streaming working sets with few
+// entries — but that differing page-table formats complicate TLB and
+// memory-management design. The TLB quantifies the first half: reach is
+// entries x page size, so the same working set costs different miss
+// counts per PU.
+type TLB struct {
+	pu        mem.PU
+	pageBits  uint
+	sets      [][]tlbEntry
+	setMask   uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	tick      uint64
+}
+
+type tlbEntry struct {
+	vpn     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// NewTLB returns a TLB for pu with the given number of entries (power of
+// two), associativity, and page size (power of two).
+func NewTLB(pu mem.PU, entries, ways int, pageSize uint64) (*TLB, error) {
+	switch {
+	case entries <= 0 || bits.OnesCount(uint(entries)) != 1:
+		return nil, fmt.Errorf("addrspace: TLB entries %d not a positive power of two", entries)
+	case ways <= 0 || entries%ways != 0:
+		return nil, fmt.Errorf("addrspace: TLB ways %d does not divide entries %d", ways, entries)
+	case pageSize == 0 || pageSize&(pageSize-1) != 0:
+		return nil, fmt.Errorf("addrspace: TLB page size %d not a power of two", pageSize)
+	}
+	numSets := entries / ways
+	t := &TLB{
+		pu:       pu,
+		pageBits: uint(bits.TrailingZeros64(pageSize)),
+		sets:     make([][]tlbEntry, numSets),
+		setMask:  uint64(numSets - 1),
+	}
+	backing := make([]tlbEntry, entries)
+	for i := range t.sets {
+		t.sets[i], backing = backing[:ways], backing[ways:]
+	}
+	return t, nil
+}
+
+// MustNewTLB is NewTLB but panics on configuration error.
+func MustNewTLB(pu mem.PU, entries, ways int, pageSize uint64) *TLB {
+	t, err := NewTLB(pu, entries, ways, pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// PageSize returns the TLB's page size in bytes.
+func (t *TLB) PageSize() uint64 { return 1 << t.pageBits }
+
+// Reach returns the address range one full TLB covers.
+func (t *TLB) Reach() uint64 {
+	return uint64(len(t.sets)*len(t.sets[0])) << t.pageBits
+}
+
+// Lookup translates addr's page, reporting whether it hit. A miss
+// installs the entry (the page walk itself is priced by the caller).
+func (t *TLB) Lookup(addr uint64) bool {
+	t.tick++
+	vpn := addr >> t.pageBits
+	set := t.sets[vpn&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].lastUse = t.tick
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		t.evictions++
+	}
+	set[victim] = tlbEntry{vpn: vpn, valid: true, lastUse: t.tick}
+	return false
+}
+
+// Invalidate drops the entry for addr's page if present (a page-table
+// update on the other PU must shoot down stale translations).
+func (t *TLB) Invalidate(addr uint64) bool {
+	vpn := addr >> t.pageBits
+	set := t.sets[vpn&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i] = tlbEntry{}
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for s := range t.sets {
+		for i := range t.sets[s] {
+			t.sets[s][i] = tlbEntry{}
+		}
+	}
+}
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Evictions returns the eviction count.
+func (t *TLB) Evictions() uint64 { return t.evictions }
+
+// MissRate returns misses over lookups, or 0 before any lookup.
+func (t *TLB) MissRate() float64 {
+	n := t.hits + t.misses
+	if n == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(n)
+}
+
+func (t *TLB) String() string {
+	return fmt.Sprintf("%v-tlb(%d entries, %dB pages, reach %dKB)",
+		t.pu, len(t.sets)*len(t.sets[0]), t.PageSize(), t.Reach()>>10)
+}

@@ -1,0 +1,121 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	g := NewGshare(12, 8)
+	pc := uint64(0x400100)
+	// After warm-up, an always-taken branch must predict perfectly.
+	for i := 0; i < 4; i++ {
+		g.Update(pc, true)
+	}
+	for i := 0; i < 100; i++ {
+		if !g.Predict(pc) {
+			t.Fatalf("iteration %d: always-taken branch predicted not-taken", i)
+		}
+		if !g.Update(pc, true) {
+			t.Fatalf("iteration %d: mispredicted steady taken", i)
+		}
+	}
+}
+
+func TestAlwaysNotTakenLearned(t *testing.T) {
+	g := NewGshare(12, 8)
+	pc := uint64(0x400200)
+	for i := 0; i < 4; i++ {
+		g.Update(pc, false)
+	}
+	for i := 0; i < 100; i++ {
+		if g.Predict(pc) {
+			t.Fatal("always-not-taken branch predicted taken after warm-up")
+		}
+		g.Update(pc, false)
+	}
+}
+
+func TestAlternatingPatternUsesHistory(t *testing.T) {
+	// A strict T/NT alternation is fully captured by 1 bit of history, so
+	// gshare should converge to near-perfect prediction.
+	g := NewGshare(14, 12)
+	pc := uint64(0x400300)
+	taken := false
+	for i := 0; i < 200; i++ { // warm-up
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !g.Update(pc, taken) {
+			wrong++
+		}
+		taken = !taken
+	}
+	if wrong > 10 {
+		t.Fatalf("alternating pattern mispredicted %d/1000 times", wrong)
+	}
+}
+
+func TestRandomBranchesNearChance(t *testing.T) {
+	g := NewGshare(12, 8)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		g.Update(uint64(0x400000+8*(i%64)), rng.Intn(2) == 0)
+	}
+	rate := g.MispredictRate()
+	if rate < 0.3 || rate > 0.7 {
+		t.Fatalf("random branches mispredict rate %.2f, expected near 0.5", rate)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := NewGshare(10, 4)
+	if g.MispredictRate() != 0 {
+		t.Error("rate before any lookup should be 0")
+	}
+	g.Update(0, true)
+	g.Update(0, true)
+	if g.Lookups() != 2 {
+		t.Errorf("lookups = %d, want 2", g.Lookups())
+	}
+	if g.Mispredicts() > 2 {
+		t.Errorf("mispredicts = %d > lookups", g.Mispredicts())
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := NewGshare(10, 4)
+	for i := 0; i < 50; i++ {
+		g.Update(uint64(i), i%3 == 0)
+	}
+	g.Reset()
+	if g.Lookups() != 0 || g.Mispredicts() != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+	// Counters must be back to weakly taken.
+	if !g.Predict(0x1234) {
+		t.Fatal("Reset did not restore weakly-taken init")
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	for _, c := range []struct{ table, hist uint }{{0, 8}, {29, 8}, {12, 65}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGshare(%d,%d) did not panic", c.table, c.hist)
+				}
+			}()
+			NewGshare(c.table, c.hist)
+		}()
+	}
+}
+
+func BenchmarkGshareUpdate(b *testing.B) {
+	g := NewGshare(14, 12)
+	for i := 0; i < b.N; i++ {
+		g.Update(uint64(i%1024)*4, i%7 < 3)
+	}
+}

@@ -1,0 +1,367 @@
+// Package cache implements the hardware caches of the simulated memory
+// hierarchy: set-associative caches with LRU or locality-aware
+// replacement, the GPU's software-managed scratchpad, and miss-status
+// holding registers (MSHRs).
+//
+// The locality-aware policy implements the paper's hybrid second-level
+// locality management (Section II-B5): each tag carries one bit that
+// records whether the block was placed explicitly (by a push instruction)
+// or implicitly (by a hardware fill), and the replacement logic forbids
+// an implicitly-managed fill from evicting an explicitly-managed block.
+// To keep explicit data from monopolising the array, the explicitly
+// managed footprint per set is capped below the full associativity
+// (the paper's constraint that "the explicitly managed cache size must be
+// smaller than the total size of the physically shared cache").
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Policy selects the replacement policy.
+type Policy uint8
+
+const (
+	// LRU is plain least-recently-used replacement.
+	LRU Policy = iota
+	// LocalityAware is LRU augmented with the per-block locality bit of
+	// Section II-B5: implicit fills may only replace invalid or implicit
+	// blocks, and bypass the cache when a set is entirely explicit.
+	LocalityAware
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case LocalityAware:
+		return "locality-aware"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Config describes a cache's geometry and behaviour.
+type Config struct {
+	// Name identifies the cache in statistics (e.g. "cpu.l1d").
+	Name string
+	// SizeBytes is the total capacity. Must be a power of two.
+	SizeBytes int
+	// LineBytes is the block size. Must be a power of two.
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+	// Policy selects the replacement policy.
+	Policy Policy
+	// MaxExplicitWays caps how many ways per set may hold explicit
+	// blocks under LocalityAware. Zero means Ways-1, the minimum slack
+	// that keeps at least one way available to implicit fills.
+	MaxExplicitWays int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.SizeBytes <= 0 || bits.OnesCount(uint(c.SizeBytes)) != 1:
+		return fmt.Errorf("cache %s: size %d is not a positive power of two", c.Name, c.SizeBytes)
+	case c.LineBytes <= 0 || bits.OnesCount(uint(c.LineBytes)) != 1:
+		return fmt.Errorf("cache %s: line %d is not a positive power of two", c.Name, c.LineBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache %s: ways %d must be positive", c.Name, c.Ways)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line %d", c.Name, c.SizeBytes, c.LineBytes*c.Ways)
+	case c.MaxExplicitWays < 0 || c.MaxExplicitWays > c.Ways:
+		return fmt.Errorf("cache %s: max explicit ways %d out of range", c.Name, c.MaxExplicitWays)
+	case c.Policy == LocalityAware && c.MaxExplicitWays == c.Ways:
+		return fmt.Errorf("cache %s: explicit ways must be smaller than associativity (paper constraint II-B5)", c.Name)
+	}
+	return nil
+}
+
+type block struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	explicit bool
+	lastUse  uint64
+}
+
+// Eviction describes the result of a Fill: which block, if any, was
+// displaced, and whether the fill was bypassed entirely.
+type Eviction struct {
+	// Valid reports that a valid block was evicted.
+	Valid bool
+	// Addr is the base address of the evicted line.
+	Addr uint64
+	// Dirty reports the evicted line had been written (needs write-back).
+	Dirty bool
+	// Explicit reports the evicted line was explicitly managed.
+	Explicit bool
+	// Bypassed reports the fill was dropped because the locality-aware
+	// policy found no replaceable way (the whole set is explicit).
+	Bypassed bool
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64
+	Evictions  uint64
+	Writebacks uint64
+	Bypasses   uint64
+}
+
+// HitRate returns hits/accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache. It models tags and replacement state
+// only — the simulator never stores data, it only times accesses.
+type Cache struct {
+	cfg       Config
+	sets      [][]block
+	setShift  uint
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+	stats     Stats
+	maxExpl   int
+}
+
+// New returns a cache with the given configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]block, numSets),
+		setMask:   uint64(numSets - 1),
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		maxExpl:   cfg.MaxExplicitWays,
+	}
+	if c.maxExpl == 0 {
+		c.maxExpl = cfg.Ways - 1
+	}
+	if cfg.Policy == LRU {
+		c.maxExpl = cfg.Ways
+	}
+	blocks := make([]block, numSets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], blocks = blocks[:cfg.Ways], blocks[cfg.Ways:]
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on configuration error, for static configs.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// LineFor returns the base address of the line containing addr.
+func (c *Cache) LineFor(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineBytes) - 1)
+}
+
+func (c *Cache) setIndex(addr uint64) uint64 { return (addr >> c.lineShift) & c.setMask }
+func (c *Cache) tagOf(addr uint64) uint64    { return addr >> c.lineShift }
+
+// Lookup accesses the line containing addr, reporting a hit. On a hit the
+// block's recency is refreshed and, for writes, the dirty bit set. On a
+// miss the caller is expected to fetch the line from the next level and
+// call Fill.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	c.tick++
+	c.stats.Accesses++
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Probe reports whether the line containing addr is present without
+// disturbing replacement state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the line containing addr. explicit marks the block as
+// explicitly managed (placed by push); dirty installs it already modified
+// (e.g. a store miss under write-allocate). The returned Eviction
+// describes any displaced block or a bypass.
+func (c *Cache) Fill(addr uint64, explicit, dirty bool) Eviction {
+	c.tick++
+	setIdx := c.setIndex(addr)
+	set := c.sets[setIdx]
+	tag := c.tagOf(addr)
+
+	// Upgrade in place if already present (fill after racing lookups,
+	// or a push of resident data).
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.tick
+			set[i].explicit = set[i].explicit || explicit
+			set[i].dirty = set[i].dirty || dirty
+			return Eviction{}
+		}
+	}
+
+	victim := c.chooseVictim(set, explicit)
+	if victim < 0 {
+		c.stats.Bypasses++
+		return Eviction{Bypassed: true}
+	}
+	ev := Eviction{}
+	if set[victim].valid {
+		ev = Eviction{
+			Valid:    true,
+			Addr:     set[victim].tag << c.lineShift,
+			Dirty:    set[victim].dirty,
+			Explicit: set[victim].explicit,
+		}
+		c.stats.Evictions++
+		if ev.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[victim] = block{tag: tag, valid: true, dirty: dirty, explicit: explicit, lastUse: c.tick}
+	c.stats.Fills++
+	return ev
+}
+
+// chooseVictim returns the way to replace, or -1 to bypass. Preference
+// order: any invalid way, then LRU among the ways this fill is allowed to
+// replace under the policy.
+func (c *Cache) chooseVictim(set []block, explicitFill bool) int {
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	if c.cfg.Policy == LRU {
+		return lruAmong(set, func(block) bool { return true })
+	}
+	if !explicitFill {
+		// Implicit fills may not displace explicit blocks (II-B5).
+		return lruAmong(set, func(b block) bool { return !b.explicit })
+	}
+	// Explicit fill: if the set already holds the maximum explicit
+	// footprint, replace the LRU explicit block so the cap is preserved;
+	// otherwise replace the global LRU.
+	if c.explicitCount(set) >= c.maxExpl {
+		return lruAmong(set, func(b block) bool { return b.explicit })
+	}
+	return lruAmong(set, func(block) bool { return true })
+}
+
+func (c *Cache) explicitCount(set []block) int {
+	n := 0
+	for i := range set {
+		if set[i].valid && set[i].explicit {
+			n++
+		}
+	}
+	return n
+}
+
+func lruAmong(set []block, eligible func(block) bool) int {
+	best := -1
+	for i := range set {
+		if !eligible(set[i]) {
+			continue
+		}
+		if best < 0 || set[i].lastUse < set[best].lastUse {
+			best = i
+		}
+	}
+	return best
+}
+
+// Invalidate removes the line containing addr if present, reporting
+// whether it was present and whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			d := set[i].dirty
+			set[i] = block{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// FlushAll invalidates every block and returns the number of dirty lines
+// that would be written back.
+func (c *Cache) FlushAll() (writebacks int) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid && c.sets[s][i].dirty {
+				writebacks++
+			}
+			c.sets[s][i] = block{}
+		}
+	}
+	c.stats.Writebacks += uint64(writebacks)
+	return writebacks
+}
+
+// ExplicitBlocks returns how many valid blocks are explicitly managed.
+func (c *Cache) ExplicitBlocks() int {
+	n := 0
+	for s := range c.sets {
+		n += c.explicitCount(c.sets[s])
+	}
+	return n
+}
+
+// ValidBlocks returns how many blocks are valid.
+func (c *Cache) ValidBlocks() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"heteromem/internal/clock"
+)
+
+// MSHR models a file of miss-status holding registers. Concurrent misses
+// to the same line merge onto one outstanding entry (a secondary miss
+// completes when the primary's fill arrives); when every register is
+// occupied, a new primary miss must wait until the earliest outstanding
+// fill returns.
+type MSHR struct {
+	capacity int
+	entries  map[uint64]clock.Time // line -> fill-complete time
+	merges   uint64
+	stalls   uint64
+}
+
+// NewMSHR returns an MSHR file with the given number of registers.
+// Capacity zero or negative disables the structure (unlimited, no
+// merging), useful for idealised configurations.
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{capacity: capacity, entries: make(map[uint64]clock.Time)}
+}
+
+// expire drops entries whose fills have completed by now.
+func (m *MSHR) expire(now clock.Time) {
+	for line, ready := range m.entries {
+		if ready <= now {
+			delete(m.entries, line)
+		}
+	}
+}
+
+// Outstanding reports whether a miss to line is already in flight at now,
+// and if so when its fill completes. A true return means the new miss
+// merges: it finishes at the returned time without issuing a new request.
+func (m *MSHR) Outstanding(line uint64, now clock.Time) (clock.Time, bool) {
+	m.expire(now)
+	ready, ok := m.entries[line]
+	if ok && ready > now {
+		m.merges++
+		return ready, true
+	}
+	return 0, false
+}
+
+// Allocate records a primary miss to line completing at ready. If the
+// file is full at now, the allocation is delayed until the earliest
+// outstanding entry retires; the returned time is the (possibly pushed
+// back) completion time the caller must use.
+func (m *MSHR) Allocate(line uint64, now, ready clock.Time) clock.Time {
+	m.expire(now)
+	if m.capacity > 0 && len(m.entries) >= m.capacity {
+		earliest := clock.Time(0)
+		first := true
+		for _, r := range m.entries {
+			if first || r < earliest {
+				earliest = r
+				first = false
+			}
+		}
+		m.stalls++
+		// The request cannot even be registered until a register frees;
+		// push the completion back by the wait.
+		if earliest > now {
+			ready = ready.Add(earliest.Sub(now))
+		}
+		m.expire(earliest)
+	}
+	m.entries[line] = ready
+	return ready
+}
+
+// InFlight returns the number of outstanding entries at now.
+func (m *MSHR) InFlight(now clock.Time) int {
+	m.expire(now)
+	return len(m.entries)
+}
+
+// Merges returns how many secondary misses merged onto a primary.
+func (m *MSHR) Merges() uint64 { return m.merges }
+
+// Stalls returns how many allocations were delayed by a full file.
+func (m *MSHR) Stalls() uint64 { return m.stalls }

@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"testing"
+
+	"heteromem/internal/clock"
+)
+
+func TestMSHRMerge(t *testing.T) {
+	m := NewMSHR(4)
+	ready := m.Allocate(0x1000, 0, 100)
+	if ready != 100 {
+		t.Fatalf("primary ready = %v, want 100", ready)
+	}
+	// Secondary miss to the same line while outstanding merges.
+	r, ok := m.Outstanding(0x1000, 50)
+	if !ok || r != 100 {
+		t.Fatalf("Outstanding = (%v,%v), want (100,true)", r, ok)
+	}
+	if m.Merges() != 1 {
+		t.Fatalf("merges = %d, want 1", m.Merges())
+	}
+	// After the fill completes, the entry expires.
+	if _, ok := m.Outstanding(0x1000, 150); ok {
+		t.Fatal("expired entry still outstanding")
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(0x1000, 0, 100)
+	m.Allocate(0x2000, 0, 200)
+	// Third primary miss at t=0 with a 50-cycle service time: must wait
+	// until the earliest entry (100) retires, so it completes at 50+100.
+	ready := m.Allocate(0x3000, 0, 50)
+	if ready != 150 {
+		t.Fatalf("stalled ready = %v, want 150", ready)
+	}
+	if m.Stalls() != 1 {
+		t.Fatalf("stalls = %d, want 1", m.Stalls())
+	}
+}
+
+func TestMSHRUnlimited(t *testing.T) {
+	m := NewMSHR(0)
+	for i := 0; i < 100; i++ {
+		ready := m.Allocate(uint64(i)*64, 0, clock.Time(100+i))
+		if ready != clock.Time(100+i) {
+			t.Fatalf("unlimited MSHR delayed allocation %d", i)
+		}
+	}
+	if m.Stalls() != 0 {
+		t.Fatal("unlimited MSHR recorded stalls")
+	}
+}
+
+func TestMSHRInFlight(t *testing.T) {
+	m := NewMSHR(8)
+	m.Allocate(0x0, 0, 100)
+	m.Allocate(0x40, 0, 200)
+	if n := m.InFlight(50); n != 2 {
+		t.Fatalf("in flight at 50 = %d, want 2", n)
+	}
+	if n := m.InFlight(150); n != 1 {
+		t.Fatalf("in flight at 150 = %d, want 1", n)
+	}
+	if n := m.InFlight(300); n != 0 {
+		t.Fatalf("in flight at 300 = %d, want 0", n)
+	}
+}

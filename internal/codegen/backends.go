@@ -1,0 +1,183 @@
+package codegen
+
+import (
+	"fmt"
+
+	"heteromem/internal/addrspace"
+)
+
+// Emit lowers the kernel's IR through the backend for the given
+// address-space model and returns the classified source lines.
+func Emit(k Kernel, model addrspace.Model) []Line {
+	p := Build(k)
+	var out []Line
+	for _, st := range p.Stmts {
+		out = append(out, emitStmt(st, model)...)
+	}
+	return out
+}
+
+func emitStmt(st Stmt, model addrspace.Model) []Line {
+	switch st.Op {
+	case OpDecl:
+		return emitDecl(st, model)
+	case OpInitLoop:
+		return []Line{
+			{Text: fmt.Sprintf("for (i = 0; i < n; i++) { // initialize %s", list(st.Objects)), Class: Compute},
+			{Text: "    init(i);", Class: Compute},
+			{Text: "}", Class: Compute},
+		}
+	case OpGPURegion:
+		return emitGPURegion(st, model)
+	case OpCPUCall:
+		return []Line{{Text: fmt.Sprintf("%s(%s); // on CPU", st.Name, list(st.Objects)), Class: Compute}}
+	case OpBody:
+		out := make([]Line, 0, st.Count)
+		for i := 0; i < st.Count; i++ {
+			out = append(out, Line{Text: bodyLine(st.Name, i), Class: Compute})
+		}
+		return out
+	case OpFree:
+		return emitFree(st, model)
+	default:
+		panic(fmt.Sprintf("codegen: unknown op %d", st.Op))
+	}
+}
+
+func emitDecl(st Stmt, model addrspace.Model) []Line {
+	var out []Line
+	for _, o := range st.Objects {
+		switch {
+		case !st.Shared:
+			out = append(out, Line{Text: fmt.Sprintf("int *%s = malloc(n);", o), Class: Compute})
+		case model == addrspace.Unified:
+			out = append(out, Line{Text: fmt.Sprintf("int *%s = malloc(n);", o), Class: Compute})
+		case model == addrspace.Disjoint:
+			// The host allocation is computation (it exists under every
+			// model); the device-side mirror is pure communication
+			// handling: pointer, device allocation, explicit copy.
+			out = append(out, Line{Text: fmt.Sprintf("int *%s = malloc(n);", o), Class: Compute})
+			out = append(out, Line{Text: fmt.Sprintf("int *gpu_%s;", o), Class: Comm})
+			out = append(out, Line{Text: fmt.Sprintf("gpu_%s = GPUmemallocate(n);", o), Class: Comm})
+			out = append(out, Line{Text: fmt.Sprintf("Memcpy(gpu_%s, %s, MemcpyHosttoDevice);", o, o), Class: Comm})
+		case model == addrspace.PartiallyShared:
+			// sharedmalloc replaces malloc: still one allocation line.
+			out = append(out, Line{Text: fmt.Sprintf("shared int *%s = sharedmalloc(n);", o), Class: Compute})
+		case model == addrspace.ADSM:
+			// malloc is replaced, but ADSM needs the adsmAlloc into the
+			// accelerator-visible space and a matching accfree (emitted by
+			// OpFree); the alloc line replaces malloc yet is communication
+			// handling: it exists only to place data in the shared space.
+			out = append(out, Line{Text: fmt.Sprintf("int *%s = malloc(n);", o), Class: Compute})
+			out = append(out, Line{Text: fmt.Sprintf("%s = adsmAlloc(n);", o), Class: Comm})
+		}
+	}
+	return out
+}
+
+func emitGPURegion(st Stmt, model addrspace.Model) []Line {
+	var out []Line
+	if model == addrspace.PartiallyShared {
+		out = append(out, Line{Text: fmt.Sprintf("releaseOwnership(%s);", list(st.Objects)), Class: Comm})
+	}
+	out = append(out, Line{Text: fmt.Sprintf("%s<<<grid>>>(%s); // on GPU", st.Name, list(st.Objects)), Class: Compute})
+	if model == addrspace.PartiallyShared {
+		out = append(out, Line{Text: fmt.Sprintf("acquireOwnership(%s);", list(st.Objects)), Class: Comm})
+	}
+	return out
+}
+
+func emitFree(st Stmt, model addrspace.Model) []Line {
+	var out []Line
+	for _, o := range st.Objects {
+		out = append(out, Line{Text: fmt.Sprintf("free(%s);", o), Class: Compute})
+		if st.Shared && model == addrspace.ADSM {
+			out = append(out, Line{Text: fmt.Sprintf("accfree(%s);", o), Class: Comm})
+		}
+	}
+	// The two private temporaries.
+	out = append(out, Line{Text: "free(t0);", Class: Compute})
+	out = append(out, Line{Text: "free(t1);", Class: Compute})
+	return out
+}
+
+func bodyLine(name string, i int) string {
+	patterns := []string{
+		"    %s_acc[%d] += in[i + %d] * coef[%d];",
+		"    out[i + %d] = %s_acc[%d] >> shift;",
+		"    if (out[i] > bound) out[i] = bound; // %s %d",
+		"    idx[%d] = partition(in, lo, hi); // %s",
+	}
+	switch i % 4 {
+	case 0:
+		return fmt.Sprintf(patterns[0], name, i%8, i%16, i%8)
+	case 1:
+		return fmt.Sprintf(patterns[1], i%16, name, i%8)
+	case 2:
+		return fmt.Sprintf(patterns[2], name, i)
+	default:
+		return fmt.Sprintf(patterns[3], i%8, name)
+	}
+}
+
+func list(objs []string) string {
+	out := ""
+	for i, o := range objs {
+		if i > 0 {
+			out += ", "
+		}
+		out += o
+	}
+	return out
+}
+
+// Count returns the number of compute and communication lines of the
+// kernel under the model.
+func Count(k Kernel, model addrspace.Model) (compute, comm int) {
+	for _, l := range Emit(k, model) {
+		if l.Class == Comm {
+			comm++
+		} else {
+			compute++
+		}
+	}
+	return compute, comm
+}
+
+// TableVRow is one row of Table V.
+type TableVRow struct {
+	Kernel string
+	Comp   int
+	UNI    int
+	PAS    int
+	DIS    int
+	ADSM   int
+}
+
+// TableV regenerates Table V by emitting every kernel under every model
+// and counting lines.
+func TableV() []TableVRow {
+	var rows []TableVRow
+	for _, k := range Kernels() {
+		comp, uni := Count(k, addrspace.Unified)
+		_, pas := Count(k, addrspace.PartiallyShared)
+		_, dis := Count(k, addrspace.Disjoint)
+		_, adsm := Count(k, addrspace.ADSM)
+		rows = append(rows, TableVRow{
+			Kernel: k.Name, Comp: comp, UNI: uni, PAS: pas, DIS: dis, ADSM: adsm,
+		})
+	}
+	return rows
+}
+
+// PaperTableV returns the published Table V values for comparison.
+func PaperTableV() []TableVRow {
+	return []TableVRow{
+		{"matrix-mul", 39, 0, 2, 9, 6},
+		{"merge-sort", 112, 0, 2, 6, 4},
+		{"dct", 410, 0, 2, 6, 4},
+		{"reduction", 142, 0, 2, 9, 6},
+		{"convolution", 75, 0, 4, 9, 6},
+		{"k-mean", 332, 0, 6, 6, 4},
+	}
+}

@@ -1,0 +1,176 @@
+// Package codegen reproduces the paper's programmability study
+// (Section V-C, Table V): it represents each evaluation kernel's host
+// program as a small IR and lowers it through one backend per memory
+// address-space model — unified, disjoint, partially shared (LRB-style
+// ownership), and ADSM. Every emitted source line is classified as
+// computation or communication handling, and counting the communication
+// lines per model regenerates Table V.
+//
+// The backends encode the models' programming idioms from the paper's
+// Figures 2 and 3:
+//
+//   - Unified: plain malloc and direct kernel calls; no communication
+//     lines at all.
+//   - Disjoint: a device pointer declaration, a device allocation and an
+//     explicit Memcpy per shared object (Figure 3a).
+//   - Partially shared: allocations move to sharedmalloc (still one line,
+//     so still computation) and each GPU kernel region is bracketed by
+//     releaseOwnership/acquireOwnership (Figure 2b).
+//   - ADSM: adsmAlloc and accfree per shared object; transfers themselves
+//     are implicit in the model (Figure 3b).
+package codegen
+
+import "fmt"
+
+// Class labels an emitted source line.
+type Class uint8
+
+const (
+	// Compute is computation or data-allocation code present under every
+	// model.
+	Compute Class = iota
+	// Comm is code that exists only to handle data communication between
+	// the PUs' address spaces.
+	Comm
+)
+
+func (c Class) String() string {
+	if c == Comm {
+		return "comm"
+	}
+	return "compute"
+}
+
+// Line is one emitted source line.
+type Line struct {
+	Text  string
+	Class Class
+}
+
+// Op is an IR statement kind.
+type Op uint8
+
+const (
+	// OpDecl declares and allocates a data object.
+	OpDecl Op = iota
+	// OpInitLoop initialises objects on the host.
+	OpInitLoop
+	// OpGPURegion invokes a GPU kernel over shared objects.
+	OpGPURegion
+	// OpCPUCall invokes host computation.
+	OpCPUCall
+	// OpBody is kernel/computation body code (the bulk of Comp lines).
+	OpBody
+	// OpFree releases objects at program end.
+	OpFree
+)
+
+// Stmt is one IR statement.
+type Stmt struct {
+	Op Op
+	// Objects names the data objects the statement touches.
+	Objects []string
+	// Shared marks objects exchanged between CPU and GPU.
+	Shared bool
+	// Count is the number of body lines for OpBody / iterations hint.
+	Count int
+	// Name is the called function for region/call ops.
+	Name string
+}
+
+// Program is a kernel's host program in IR form.
+type Program struct {
+	Name  string
+	Stmts []Stmt
+}
+
+// Kernel metadata drives IR construction: how many shared objects flow
+// between the PUs, how many GPU kernel regions execute, and how many
+// computation lines the full source has (Table V's Comp column).
+type Kernel struct {
+	Name string
+	// SharedObjects is the number of objects exchanged between PUs.
+	SharedObjects int
+	// GPURegions is the number of GPU kernel invocation regions
+	// (ownership transfer sections under the LRB model).
+	GPURegions int
+	// ComputeLines is the Comp column of Table V.
+	ComputeLines int
+}
+
+// Kernels returns the six kernels with metadata chosen to match the
+// paper's sources: object and region counts follow each kernel's
+// structure (reduction and convolution carry three shared arrays,
+// convolution runs two GPU phases, k-mean three).
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "matrix-mul", SharedObjects: 3, GPURegions: 1, ComputeLines: 39},
+		{Name: "merge-sort", SharedObjects: 2, GPURegions: 1, ComputeLines: 112},
+		{Name: "dct", SharedObjects: 2, GPURegions: 1, ComputeLines: 410},
+		{Name: "reduction", SharedObjects: 3, GPURegions: 1, ComputeLines: 142},
+		{Name: "convolution", SharedObjects: 3, GPURegions: 2, ComputeLines: 75},
+		{Name: "k-mean", SharedObjects: 2, GPURegions: 3, ComputeLines: 332},
+	}
+}
+
+// Build constructs the IR for a kernel: declarations, host
+// initialisation, one GPU region per phase with host work interleaved,
+// body code sized to the compute budget, and frees.
+func Build(k Kernel) Program {
+	var stmts []Stmt
+	names := objectNames(k.SharedObjects)
+	stmts = append(stmts, Stmt{Op: OpDecl, Objects: names, Shared: true})
+	stmts = append(stmts, Stmt{Op: OpDecl, Objects: []string{"t0", "t1"}})
+	stmts = append(stmts, Stmt{Op: OpInitLoop, Objects: names})
+	for r := 0; r < k.GPURegions; r++ {
+		stmts = append(stmts, Stmt{
+			Op: OpGPURegion, Objects: names, Shared: true,
+			Name: fmt.Sprintf("%sKernel%d", ident(k.Name), r),
+		})
+		stmts = append(stmts, Stmt{Op: OpCPUCall, Objects: []string{"t0", "t1"}, Name: "hostStep"})
+	}
+	// The fixed statements above emit a known number of compute lines;
+	// the body statement carries the remainder of the Comp budget.
+	fixed := fixedComputeLines(k)
+	body := k.ComputeLines - fixed
+	if body < 0 {
+		body = 0
+	}
+	stmts = append(stmts, Stmt{Op: OpBody, Count: body, Name: ident(k.Name)})
+	stmts = append(stmts, Stmt{Op: OpFree, Objects: names, Shared: true})
+	return Program{Name: k.Name, Stmts: stmts}
+}
+
+func objectNames(n int) []string {
+	base := []string{"a", "b", "c", "d", "e", "f"}
+	if n > len(base) {
+		n = len(base)
+	}
+	return base[:n]
+}
+
+func ident(name string) string {
+	out := make([]rune, 0, len(name))
+	up := false
+	for _, r := range name {
+		if r == '-' {
+			up = true
+			continue
+		}
+		if up {
+			r = r - 'a' + 'A'
+			up = false
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// fixedComputeLines counts the compute lines the non-body statements
+// emit, which is backend-independent by construction (backends only add
+// Comm lines).
+func fixedComputeLines(k Kernel) int {
+	// shared decls + private decls + init loop (3 lines) + per region
+	// (gpu call + host call) + frees of shared and private objects.
+	return k.SharedObjects + 2 + 3 + 2*k.GPURegions + k.SharedObjects + 2
+}

@@ -1,0 +1,149 @@
+package codegen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"heteromem/internal/addrspace"
+)
+
+func TestTableVMatchesPaper(t *testing.T) {
+	got := TableV()
+	want := PaperTableV()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Table V mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestComputeLinesBackendInvariant(t *testing.T) {
+	// The Comp column is the same under every model: backends only add
+	// communication-handling lines.
+	for _, k := range Kernels() {
+		base, _ := Count(k, addrspace.Unified)
+		for _, m := range addrspace.AllModels() {
+			comp, _ := Count(k, m)
+			if comp != base {
+				t.Errorf("%s under %v: compute lines %d != unified %d", k.Name, m, comp, base)
+			}
+		}
+	}
+}
+
+func TestUnifiedHasNoCommLines(t *testing.T) {
+	for _, k := range Kernels() {
+		if _, comm := Count(k, addrspace.Unified); comm != 0 {
+			t.Errorf("%s unified comm lines = %d, want 0", k.Name, comm)
+		}
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	// Section V-C: "the overhead increases in the following order:
+	// Unified < partially shared <= ADSM < disjoint".
+	for _, r := range TableV() {
+		if !(r.UNI < r.PAS || r.UNI == 0 && r.PAS > 0) {
+			t.Errorf("%s: UNI (%d) not below PAS (%d)", r.Kernel, r.UNI, r.PAS)
+		}
+		if r.PAS > r.ADSM && r.Kernel != "k-mean" {
+			// k-mean is the paper's own exception (6 vs 4): ownership
+			// operations repeat per iteration while ADSM allocates once.
+			t.Errorf("%s: PAS (%d) above ADSM (%d)", r.Kernel, r.PAS, r.ADSM)
+		}
+		if r.ADSM > r.DIS {
+			t.Errorf("%s: ADSM (%d) above DIS (%d)", r.Kernel, r.ADSM, r.DIS)
+		}
+	}
+}
+
+func TestEmittedSourceShape(t *testing.T) {
+	k := Kernels()[0] // matrix-mul
+	// Disjoint source contains explicit copies; unified does not.
+	dis := render(Emit(k, addrspace.Disjoint))
+	if !strings.Contains(dis, "Memcpy") || !strings.Contains(dis, "GPUmemallocate") {
+		t.Error("disjoint source lacks explicit copy API")
+	}
+	uni := render(Emit(k, addrspace.Unified))
+	if strings.Contains(uni, "Memcpy") {
+		t.Error("unified source contains Memcpy")
+	}
+	pas := render(Emit(k, addrspace.PartiallyShared))
+	if !strings.Contains(pas, "acquireOwnership") || !strings.Contains(pas, "releaseOwnership") {
+		t.Error("partially shared source lacks ownership operations")
+	}
+	if !strings.Contains(pas, "sharedmalloc") {
+		t.Error("partially shared source lacks sharedmalloc")
+	}
+	adsm := render(Emit(k, addrspace.ADSM))
+	if !strings.Contains(adsm, "adsmAlloc") || !strings.Contains(adsm, "accfree") {
+		t.Error("ADSM source lacks adsmAlloc/accfree")
+	}
+}
+
+func TestKMeanRepeatsOwnership(t *testing.T) {
+	var km Kernel
+	for _, k := range Kernels() {
+		if k.Name == "k-mean" {
+			km = k
+		}
+	}
+	pas := render(Emit(km, addrspace.PartiallyShared))
+	if strings.Count(pas, "releaseOwnership") != 3 {
+		t.Errorf("k-mean should release ownership once per iteration (3), got %d",
+			strings.Count(pas, "releaseOwnership"))
+	}
+}
+
+func TestBuildIRStructure(t *testing.T) {
+	p := Build(Kernels()[0])
+	if p.Name != "matrix-mul" {
+		t.Errorf("program name %q", p.Name)
+	}
+	var ops []Op
+	for _, st := range p.Stmts {
+		ops = append(ops, st.Op)
+	}
+	// Must start with declarations and end with frees.
+	if ops[0] != OpDecl || ops[len(ops)-1] != OpFree {
+		t.Errorf("IR shape wrong: %v", ops)
+	}
+	var regions int
+	for _, op := range ops {
+		if op == OpGPURegion {
+			regions++
+		}
+	}
+	if regions != 1 {
+		t.Errorf("matrix-mul GPU regions = %d, want 1", regions)
+	}
+}
+
+func TestIdentCamelCase(t *testing.T) {
+	if ident("merge-sort") != "mergeSort" {
+		t.Errorf("ident = %q", ident("merge-sort"))
+	}
+	if ident("dct") != "dct" {
+		t.Errorf("ident = %q", ident("dct"))
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Compute.String() != "compute" || Comm.String() != "comm" {
+		t.Error("class names wrong")
+	}
+}
+
+func render(lines []Line) string {
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l.Text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func BenchmarkEmitAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TableV()
+	}
+}

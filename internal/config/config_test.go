@@ -1,0 +1,90 @@
+package config
+
+import (
+	"testing"
+
+	"heteromem/internal/clock"
+	"heteromem/internal/isa"
+)
+
+func TestBaselineCores(t *testing.T) {
+	cpu := BaselineCPU()
+	if cpu.FreqMHz != 3500 || cpu.ROBSize == 0 || cpu.MispredictPenalty == 0 {
+		t.Fatalf("CPU baseline wrong: %+v", cpu)
+	}
+	gpu := BaselineGPU()
+	if gpu.FreqMHz != 1500 || gpu.SIMDWidth != 8 || gpu.ROBSize != 0 {
+		t.Fatalf("GPU baseline wrong: %+v", gpu)
+	}
+	if cpu.Domain().FreqMHz() != 3500 || gpu.Domain().FreqMHz() != 1500 {
+		t.Fatal("domains do not match core frequencies")
+	}
+}
+
+func TestTableIVValues(t *testing.T) {
+	p := TableIV()
+	if p.APIPCICycles != 33250 || p.APIAcqCycles != 1000 || p.APITrCycles != 7000 || p.LibPFCycles != 42000 {
+		t.Fatalf("Table IV values wrong: %+v", p)
+	}
+	if p.PCIRateGBs != 16 {
+		t.Fatalf("PCI-E rate %v, want 16 GB/s", p.PCIRateGBs)
+	}
+}
+
+func TestLatencyAPIPCI(t *testing.T) {
+	p := TableIV()
+	// Zero-byte copy: just the 33250-cycle base at 3.5 GHz = 9.5 us.
+	base := p.Latency(isa.APIPCI, 0)
+	wantBase := clock.NewDomain("cpu", 3500).CyclesToDuration(33250)
+	if base != wantBase {
+		t.Fatalf("api-pci base %v, want %v", base, wantBase)
+	}
+	// 16 KB at 16 GB/s adds 1 us.
+	withData := p.Latency(isa.APIPCI, 16384)
+	added := withData - base
+	if added < clock.Duration(0.9*float64(clock.Microsecond)) || added > clock.Duration(1.1*float64(clock.Microsecond)) {
+		t.Fatalf("16KB transfer added %v, want ~1.024us", added)
+	}
+}
+
+func TestLatencyOtherKinds(t *testing.T) {
+	p := TableIV()
+	acq := p.Latency(isa.APIAcquire, 0)
+	rel := p.Latency(isa.APIRelease, 0)
+	tr := p.Latency(isa.APITransfer, 0)
+	pf := p.Latency(isa.LibPageFault, 0)
+	if acq != rel {
+		t.Error("acquire and release should share api-acq cost")
+	}
+	if !(acq < tr && tr < pf) {
+		t.Errorf("expected acq(%v) < tr(%v) < pf(%v)", acq, tr, pf)
+	}
+	if p.Latency(isa.ALU, 0) != 0 || p.Latency(isa.Load, 64) != 0 {
+		t.Error("non-comm kinds must cost nothing")
+	}
+}
+
+func TestIdeal(t *testing.T) {
+	p := Ideal()
+	if !p.IsIdeal() {
+		t.Fatal("Ideal() not ideal")
+	}
+	for _, k := range []isa.Kind{isa.APIPCI, isa.APIAcquire, isa.APITransfer, isa.LibPageFault} {
+		if p.Latency(k, 1<<20) != 0 {
+			t.Errorf("ideal %v latency nonzero", k)
+		}
+	}
+	if TableIV().IsIdeal() {
+		t.Fatal("Table IV reported ideal")
+	}
+}
+
+func TestTransferScalesLinearly(t *testing.T) {
+	p := TableIV()
+	d1 := p.Latency(isa.APIPCI, 1<<20) - p.Latency(isa.APIPCI, 0)
+	d2 := p.Latency(isa.APIPCI, 2<<20) - p.Latency(isa.APIPCI, 0)
+	ratio := float64(d2) / float64(d1)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("transfer time not linear: ratio %v", ratio)
+	}
+}

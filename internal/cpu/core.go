@@ -1,0 +1,269 @@
+// Package cpu models the baseline general-purpose core of Table II: a
+// 3.5 GHz out-of-order core with a gshare branch predictor, replaying
+// dynamic instruction traces against the memory hierarchy.
+//
+// The timing model is the standard trace-driven out-of-order
+// approximation: instructions dispatch in program order limited by issue
+// width and reorder-buffer occupancy, begin execution when their trace
+// dependencies have completed, and complete out of order. Branch
+// mispredictions stall dispatch for the refill penalty; communication API
+// instructions (Table IV) serialise the core, as a blocking library call
+// does.
+package cpu
+
+import (
+	"heteromem/internal/clock"
+	"heteromem/internal/config"
+	"heteromem/internal/isa"
+	"heteromem/internal/mem"
+	"heteromem/internal/trace"
+
+	"heteromem/internal/bpred"
+)
+
+// Memory is the view of the memory system the core needs. *mem.Hierarchy
+// implements it; tests may substitute fixed-latency fakes.
+type Memory interface {
+	Access(pu mem.PU, addr uint64, write bool, now clock.Time) clock.Time
+	Push(pu mem.PU, addr uint64, size uint32, level mem.Level, now clock.Time) clock.Time
+}
+
+// CommCoster prices a communication instruction; config.CommParams.Latency
+// bound to a parameter set is the usual implementation.
+type CommCoster func(kind isa.Kind, size uint32) clock.Duration
+
+// Stats summarises one Run.
+type Stats struct {
+	Instructions uint64
+	Branches     uint64
+	Mispredicts  uint64
+	MemOps       uint64
+	CommOps      uint64
+	PushOps      uint64
+	// CommTime is the total time spent inside communication instructions;
+	// the harness subtracts it from phase time to build the Figure 5
+	// breakdown.
+	CommTime clock.Duration
+	// Duration is the wall time of the run (end - start).
+	Duration clock.Duration
+}
+
+// Core is a reusable out-of-order core instance.
+type Core struct {
+	cfg    config.CoreConfig
+	dom    *clock.Domain
+	cycle  clock.Duration
+	pred   *bpred.Gshare
+	memory Memory
+	comm   CommCoster
+
+	// completion and retire rings must cover both the ROB window and the
+	// maximum trace dependency distance (uint16).
+	comp   []clock.Time
+	retire []clock.Time
+}
+
+const ringSize = 1 << 16
+
+// New returns a core with the given configuration bound to a memory
+// system and communication cost model.
+func New(cfg config.CoreConfig, memory Memory, comm CommCoster) *Core {
+	if cfg.IssueWidth <= 0 {
+		cfg.IssueWidth = 1
+	}
+	if cfg.ROBSize <= 0 {
+		cfg.ROBSize = 1
+	}
+	dom := cfg.Domain()
+	c := &Core{
+		cfg:    cfg,
+		dom:    dom,
+		cycle:  dom.PeriodPS(),
+		memory: memory,
+		comm:   comm,
+		comp:   make([]clock.Time, ringSize),
+		retire: make([]clock.Time, ringSize),
+	}
+	if cfg.PredictorTableBits > 0 {
+		c.pred = bpred.NewGshare(cfg.PredictorTableBits, cfg.PredictorHistoryBits)
+	}
+	return c
+}
+
+// Domain returns the core's clock domain.
+func (c *Core) Domain() *clock.Domain { return c.dom }
+
+// Execution is an in-progress replay of one stream. It lets the
+// simulator co-simulate two cores by alternately advancing whichever is
+// behind in simulated time, so their memory traffic interleaves on
+// shared resources in time order. A core supports one live Execution at
+// a time (the completion rings are per-core).
+type Execution struct {
+	c          *Core
+	s          trace.Stream
+	i          int
+	start      clock.Time
+	cur        clock.Time // dispatch-cycle clock
+	issued     int        // instructions dispatched this cycle
+	maxComp    clock.Time // latest completion seen (for barriers/drain)
+	lastRetire clock.Time
+	stats      Stats
+}
+
+// Begin starts replaying the stream at time at.
+func (c *Core) Begin(s trace.Stream, at clock.Time) *Execution {
+	return &Execution{c: c, s: s, start: at, cur: at}
+}
+
+// Run replays the stream starting at start to completion and returns the
+// completion time of the last instruction (including drained stores) and
+// run statistics. Run may be called repeatedly; predictor state persists
+// across calls (warm predictor), ring state does not need clearing
+// because every slot is written before it is read within a run.
+func (c *Core) Run(s trace.Stream, start clock.Time) (clock.Time, Stats) {
+	e := c.Begin(s, start)
+	e.StepUntil(clock.Time(^uint64(0)))
+	return e.End()
+}
+
+// Done reports whether every instruction has executed.
+func (e *Execution) Done() bool { return e.i >= len(e.s) }
+
+// Now returns the dispatch clock — where the front end currently is.
+func (e *Execution) Now() clock.Time { return e.cur }
+
+// StepUntil executes instructions while the dispatch clock is at or
+// before deadline (and the stream has instructions left). It always makes
+// progress when called with deadline >= Now().
+func (e *Execution) StepUntil(deadline clock.Time) {
+	c := e.c
+	for e.i < len(e.s) && e.cur <= deadline {
+		i, in := e.i, e.s[e.i]
+		if e.issued >= c.cfg.IssueWidth {
+			e.cur = e.cur.Add(c.cycle)
+			e.issued = 0
+		}
+		// Reorder-buffer occupancy: instruction i cannot dispatch before
+		// instruction i-ROB has retired.
+		if i >= c.cfg.ROBSize {
+			head := c.retire[(i-c.cfg.ROBSize)%ringSize]
+			if e.cur < head {
+				e.cur = head
+				e.issued = 0
+			}
+		}
+		// Dependencies pointing before the stream start are ignored: the
+		// producer ran in an earlier phase and has long completed.
+		ready := e.cur
+		if d := int(in.Dep1); d != 0 && d <= i {
+			if t := c.comp[(i-d)%ringSize]; t > ready {
+				ready = t
+			}
+		}
+		if d := int(in.Dep2); d != 0 && d <= i {
+			if t := c.comp[(i-d)%ringSize]; t > ready {
+				ready = t
+			}
+		}
+
+		var done clock.Time
+		switch {
+		case in.Kind == isa.Branch:
+			done = ready.Add(c.cycle)
+			e.stats.Branches++
+			correct := true
+			if c.pred != nil {
+				correct = c.pred.Update(in.PC, in.Taken)
+			}
+			if !correct {
+				e.stats.Mispredicts++
+				resume := done.Add(clock.Duration(c.cfg.MispredictPenalty) * c.cycle)
+				if resume > e.cur {
+					e.cur = resume
+					e.issued = 0
+				}
+			}
+		case in.Kind == isa.Load:
+			e.stats.MemOps++
+			done = c.memory.Access(mem.CPU, in.Addr, false, ready)
+		case in.Kind == isa.Store:
+			e.stats.MemOps++
+			drain := c.memory.Access(mem.CPU, in.Addr, true, ready)
+			if drain > e.maxComp {
+				e.maxComp = drain
+			}
+			if c.cfg.StrongConsistency {
+				// Sequential consistency: the store must be globally
+				// performed before anything younger proceeds.
+				done = drain
+				if drain > e.cur {
+					e.cur = drain
+					e.issued = 0
+				}
+			} else {
+				// Weak consistency: the store buffer absorbs it; only
+				// barriers wait for the drain.
+				done = ready.Add(c.cycle)
+			}
+		case in.Kind.IsComm():
+			e.stats.CommOps++
+			d := c.comm(in.Kind, in.Size)
+			e.stats.CommTime += d
+			// A blocking API call serialises the core: it begins after all
+			// outstanding work and stalls dispatch until it returns.
+			at := clock.Max(ready, e.maxComp)
+			done = at.Add(d)
+			e.cur = done
+			e.issued = 0
+		case in.Kind == isa.Push:
+			e.stats.PushOps++
+			done = c.memory.Push(mem.CPU, in.Addr, in.Size, pushLevel(in.PushLevel), ready)
+		case in.Kind == isa.Barrier:
+			done = clock.Max(ready, e.maxComp).Add(c.cycle)
+			e.cur = done
+			e.issued = 0
+		default:
+			lat := in.Kind.ExecLatency()
+			done = ready.Add(clock.Duration(lat) * c.cycle)
+		}
+
+		slot := i % ringSize
+		c.comp[slot] = done
+		if done > e.maxComp {
+			e.maxComp = done
+		}
+		if done > e.lastRetire {
+			e.lastRetire = done
+		}
+		c.retire[slot] = e.lastRetire
+		e.issued++
+		e.stats.Instructions++
+		e.i++
+	}
+}
+
+// End returns the completion time (all work drained) and the run's
+// statistics. The execution must be Done.
+func (e *Execution) End() (clock.Time, Stats) {
+	if !e.Done() {
+		panic("cpu: End called on unfinished execution")
+	}
+	end := clock.Max(e.cur, e.maxComp)
+	st := e.stats
+	st.Duration = end.Sub(e.start)
+	return end, st
+}
+
+func pushLevel(l uint8) mem.Level {
+	switch l {
+	case trace.PushShared:
+		return mem.LevelShared
+	case trace.PushSoftware:
+		return mem.LevelSoftware
+	default:
+		return mem.LevelPrivate
+	}
+}
+
+// Predictor returns the core's branch predictor, or nil if it has none.
+func (c *Core) Predictor() *bpred.Gshare { return c.pred }

@@ -1,0 +1,111 @@
+package cpu
+
+import (
+	"testing"
+
+	"heteromem/internal/clock"
+	"heteromem/internal/isa"
+	"heteromem/internal/trace"
+)
+
+func TestExecutionStepwiseMatchesRun(t *testing.T) {
+	// Advancing an execution in small deadline steps must produce exactly
+	// the same end time and statistics as a monolithic Run (the memory is
+	// private to each, so no cross-interference).
+	mk := func() trace.Stream {
+		var s trace.Stream
+		for i := 0; i < 5000; i++ {
+			switch i % 4 {
+			case 0:
+				s = append(s, trace.Inst{PC: uint64(i), Kind: isa.Load, Addr: uint64(i%128) * 64, Size: 8})
+			case 1:
+				s = append(s, trace.Inst{PC: uint64(i), Kind: isa.ALU, Dep1: 1})
+			case 2:
+				s = append(s, trace.Inst{PC: uint64(i), Kind: isa.Branch, Taken: i%3 == 0})
+			default:
+				s = append(s, trace.Inst{PC: uint64(i), Kind: isa.Store, Addr: uint64(i%64) * 64, Size: 8})
+			}
+		}
+		return s
+	}
+
+	cRun := newCore(&fakeMem{lat: 50 * clock.Nanosecond}, nil)
+	endRun, stRun := cRun.Run(mk(), 0)
+
+	cStep := newCore(&fakeMem{lat: 50 * clock.Nanosecond}, nil)
+	e := cStep.Begin(mk(), 0)
+	deadline := clock.Time(0)
+	for !e.Done() {
+		deadline = deadline.Add(100 * clock.Nanosecond)
+		e.StepUntil(deadline)
+	}
+	endStep, stStep := e.End()
+
+	if endRun != endStep {
+		t.Fatalf("stepwise end %v != run end %v", endStep, endRun)
+	}
+	if stRun != stStep {
+		t.Fatalf("stepwise stats %+v != run stats %+v", stStep, stRun)
+	}
+}
+
+func TestExecutionProgressGuarantee(t *testing.T) {
+	c := newCore(&fakeMem{}, nil)
+	e := c.Begin(alu(100), 0)
+	// A deadline equal to Now always allows at least one instruction.
+	for i := 0; i < 100 && !e.Done(); i++ {
+		before := e.i
+		e.StepUntil(e.Now())
+		if e.i == before {
+			t.Fatal("StepUntil(Now()) made no progress")
+		}
+	}
+	if !e.Done() {
+		t.Fatalf("execution incomplete after 100 steps: %d/100", e.i)
+	}
+}
+
+func TestExecutionEndPanicsIfUnfinished(t *testing.T) {
+	c := newCore(&fakeMem{}, nil)
+	e := c.Begin(alu(1000), 0)
+	e.StepUntil(0) // a handful of instructions at most
+	if e.Done() {
+		t.Skip("stream completed in one step")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("End on unfinished execution did not panic")
+		}
+	}()
+	e.End()
+}
+
+func TestExecutionNowMonotonic(t *testing.T) {
+	c := newCore(&fakeMem{lat: 10 * clock.Nanosecond}, nil)
+	var s trace.Stream
+	for i := 0; i < 2000; i++ {
+		s = append(s, trace.Inst{PC: uint64(i), Kind: isa.Load, Addr: uint64(i) * 64, Size: 8})
+		s = append(s, trace.Inst{PC: uint64(i), Kind: isa.ALU, Dep1: 1})
+	}
+	e := c.Begin(s, 0)
+	prev := e.Now()
+	for !e.Done() {
+		e.StepUntil(prev.Add(clock.Microsecond))
+		if e.Now() < prev {
+			t.Fatal("dispatch clock moved backwards")
+		}
+		prev = e.Now()
+	}
+}
+
+func TestExecutionEmptyStream(t *testing.T) {
+	c := newCore(&fakeMem{}, nil)
+	e := c.Begin(nil, 99)
+	if !e.Done() {
+		t.Fatal("empty execution not done")
+	}
+	end, st := e.End()
+	if end != 99 || st.Instructions != 0 {
+		t.Fatalf("empty end=%v st=%+v", end, st)
+	}
+}

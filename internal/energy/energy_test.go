@@ -1,0 +1,84 @@
+package energy
+
+import (
+	"testing"
+
+	"heteromem/internal/sim"
+	"heteromem/internal/systems"
+	"heteromem/internal/workload"
+)
+
+func runOne(t *testing.T, sys systems.System) sim.Result {
+	t.Helper()
+	s, err := sim.New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(workload.MustGenerate("reduction"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBreakdownPositive(t *testing.T) {
+	res := runOne(t, systems.CPUGPU())
+	b := EstimateDefault(res)
+	if b.Cores <= 0 || b.Caches <= 0 || b.DRAM <= 0 || b.Interconnect <= 0 {
+		t.Fatalf("non-positive components: %+v", b)
+	}
+	if b.Communication <= 0 {
+		t.Fatal("PCI-E system has zero communication energy")
+	}
+	if b.Total() <= b.Cores {
+		t.Fatal("total not larger than one component")
+	}
+}
+
+func TestIdealSavesCommunicationEnergy(t *testing.T) {
+	cuda := EstimateDefault(runOne(t, systems.CPUGPU()))
+	ideal := EstimateDefault(runOne(t, systems.IdealHetero()))
+	if ideal.Communication != 0 {
+		t.Fatalf("ideal fabric burned %v nJ of communication", ideal.Communication)
+	}
+	if cuda.Total() <= ideal.Total() {
+		t.Fatalf("CPU+GPU total (%v nJ) not above ideal (%v nJ)", cuda.Total(), ideal.Total())
+	}
+	// The compute-side energy is nearly identical: the memory model only
+	// changes communication (and second-order cache effects).
+	coreDelta := cuda.Cores/ideal.Cores - 1
+	if coreDelta > 0.02 || coreDelta < -0.02 {
+		t.Fatalf("core energy differs by %.1f%% across systems", coreDelta*100)
+	}
+}
+
+func TestFusionCheaperCommThanPCIe(t *testing.T) {
+	cuda := EstimateDefault(runOne(t, systems.CPUGPU()))
+	fusion := EstimateDefault(runOne(t, systems.Fusion()))
+	// Fusion's transfers ride the memory controllers: they show up as
+	// DRAM energy, not serdes energy.
+	if fusion.Communication >= cuda.Communication {
+		t.Fatalf("Fusion comm energy (%v) not below PCI-E (%v)", fusion.Communication, cuda.Communication)
+	}
+	if fusion.DRAM <= cuda.DRAM {
+		t.Fatalf("Fusion DRAM energy (%v) not above CPU+GPU (%v): DMA traffic missing", fusion.DRAM, cuda.DRAM)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := Default()
+	p.DRAMAccessPJ = -1
+	if _, err := Estimate(sim.Result{}, p); err == nil {
+		t.Fatal("negative energy accepted")
+	}
+}
+
+func TestZeroResultZeroEnergy(t *testing.T) {
+	b, err := Estimate(sim.Result{}, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() != 0 {
+		t.Fatalf("empty run burned %v nJ", b.Total())
+	}
+}

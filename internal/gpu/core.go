@@ -1,0 +1,278 @@
+// Package gpu models the baseline accelerator core of Table II: a
+// 1.5 GHz in-order 8-wide SIMD core with no branch predictor ("stall on
+// branch"), a hardware L1 reached through the shared hierarchy, and a
+// 16 KB software-managed cache.
+//
+// The timing model is in-order single-issue with stall-on-use: memory
+// operations are non-blocking until a dependent instruction needs their
+// result (the trace's dependency distances), branches stall the front end
+// until resolution, and SIMD memory operations coalesce consecutive lane
+// addresses into cache-line requests.
+package gpu
+
+import (
+	"heteromem/internal/cache"
+	"heteromem/internal/clock"
+	"heteromem/internal/config"
+	"heteromem/internal/isa"
+	"heteromem/internal/mem"
+	"heteromem/internal/trace"
+)
+
+// Memory is the view of the memory system the core needs; *mem.Hierarchy
+// implements it.
+type Memory interface {
+	Access(pu mem.PU, addr uint64, write bool, now clock.Time) clock.Time
+	Push(pu mem.PU, addr uint64, size uint32, level mem.Level, now clock.Time) clock.Time
+	Scratchpad() *cache.Scratchpad
+}
+
+// CommCoster prices a communication instruction.
+type CommCoster func(kind isa.Kind, size uint32) clock.Duration
+
+// Stats summarises one Run.
+type Stats struct {
+	Instructions uint64
+	Branches     uint64
+	MemOps       uint64
+	LineRequests uint64
+	SWHits       uint64
+	SWMisses     uint64
+	CommOps      uint64
+	PushOps      uint64
+	CommTime     clock.Duration
+	Duration     clock.Duration
+}
+
+// Core is a reusable in-order SIMD core instance.
+type Core struct {
+	cfg    config.CoreConfig
+	dom    *clock.Domain
+	cycle  clock.Duration
+	memory Memory
+	comm   CommCoster
+	swLat  clock.Duration
+	// Coalesce controls whether SIMD memory operations merge lane
+	// accesses into unique cache-line requests (true, the default) or
+	// issue one request per active lane (the ablation configuration).
+	Coalesce bool
+
+	comp []clock.Time
+}
+
+const ringSize = 1 << 16
+
+// LineBytes is the coalescing granularity, matching the hierarchy's
+// 64-byte lines.
+const LineBytes = 64
+
+// New returns a core bound to a memory system, communication cost model,
+// and software-managed-cache latency.
+func New(cfg config.CoreConfig, memory Memory, comm CommCoster, swLat clock.Duration) *Core {
+	if cfg.SIMDWidth <= 0 {
+		cfg.SIMDWidth = 8
+	}
+	dom := cfg.Domain()
+	return &Core{
+		cfg:      cfg,
+		dom:      dom,
+		cycle:    dom.PeriodPS(),
+		memory:   memory,
+		comm:     comm,
+		swLat:    swLat,
+		Coalesce: true,
+		comp:     make([]clock.Time, ringSize),
+	}
+}
+
+// Domain returns the core's clock domain.
+func (c *Core) Domain() *clock.Domain { return c.dom }
+
+// Execution is an in-progress replay of one stream, advanceable in
+// bounded steps so the simulator can co-simulate the GPU with the CPU in
+// time order. A core supports one live Execution at a time.
+type Execution struct {
+	c       *Core
+	s       trace.Stream
+	i       int
+	start   clock.Time
+	cur     clock.Time
+	maxComp clock.Time
+	stats   Stats
+}
+
+// Begin starts replaying the stream at time at.
+func (c *Core) Begin(s trace.Stream, at clock.Time) *Execution {
+	return &Execution{c: c, s: s, start: at, cur: at}
+}
+
+// Run replays the stream starting at start to completion and returns the
+// completion time of the last instruction (with memory drained) and
+// statistics.
+func (c *Core) Run(s trace.Stream, start clock.Time) (clock.Time, Stats) {
+	e := c.Begin(s, start)
+	e.StepUntil(clock.Time(^uint64(0)))
+	return e.End()
+}
+
+// Done reports whether every instruction has executed.
+func (e *Execution) Done() bool { return e.i >= len(e.s) }
+
+// Now returns the in-order issue clock.
+func (e *Execution) Now() clock.Time { return e.cur }
+
+// StepUntil executes instructions while the issue clock is at or before
+// deadline (and the stream has instructions left).
+func (e *Execution) StepUntil(deadline clock.Time) {
+	c := e.c
+	for e.i < len(e.s) && e.cur <= deadline {
+		i, in := e.i, e.s[e.i]
+		e.i++
+		// Dependencies pointing before the stream start are ignored: the
+		// producer ran in an earlier phase and has long completed.
+		ready := e.cur
+		if d := int(in.Dep1); d != 0 && d <= i {
+			if t := c.comp[(i-d)%ringSize]; t > ready {
+				ready = t
+			}
+		}
+		if d := int(in.Dep2); d != 0 && d <= i {
+			if t := c.comp[(i-d)%ringSize]; t > ready {
+				ready = t
+			}
+		}
+		issueAt := clock.Max(e.cur, ready)
+
+		var done clock.Time
+		switch {
+		case in.Kind == isa.Branch:
+			e.stats.Branches++
+			done = issueAt.Add(c.cycle)
+			// No predictor: the front end stalls until the branch
+			// resolves, plus the refill bubble.
+			e.cur = done.Add(clock.Duration(c.cfg.BranchStall) * c.cycle)
+			e.record(i, done)
+			e.stats.Instructions++
+			continue
+		case in.Kind.IsMem():
+			e.stats.MemOps++
+			done = c.accessMem(in, issueAt, &e.stats)
+		case in.Kind.IsSoftwareCache():
+			if c.memory.Scratchpad().Resident(in.Addr) {
+				e.stats.SWHits++
+				done = issueAt.Add(c.swLat)
+			} else {
+				// Data was never placed: the access falls through to the
+				// hardware hierarchy (and is counted so the workload
+				// author can find the placement bug).
+				e.stats.SWMisses++
+				done = c.memory.Access(mem.GPU, in.Addr, in.Kind == isa.SWStore, issueAt)
+			}
+		case in.Kind.IsComm():
+			e.stats.CommOps++
+			d := c.comm(in.Kind, in.Size)
+			e.stats.CommTime += d
+			at := clock.Max(issueAt, e.maxComp)
+			done = at.Add(d)
+			e.cur = done
+			e.record(i, done)
+			e.stats.Instructions++
+			continue
+		case in.Kind == isa.Push:
+			e.stats.PushOps++
+			done = c.memory.Push(mem.GPU, in.Addr, in.Size, pushLevel(in.PushLevel), issueAt)
+		case in.Kind == isa.Barrier:
+			done = clock.Max(issueAt, e.maxComp).Add(c.cycle)
+			e.cur = done
+			e.record(i, done)
+			e.stats.Instructions++
+			continue
+		default:
+			done = issueAt.Add(clock.Duration(in.Kind.ExecLatency()) * c.cycle)
+		}
+
+		// In-order single issue: the next instruction issues no earlier
+		// than one cycle after this one, but does not wait for completion
+		// (stall-on-use via the dependency distances).
+		e.cur = issueAt.Add(c.cycle)
+		e.record(i, done)
+		e.stats.Instructions++
+	}
+}
+
+// End returns the completion time (memory drained) and statistics. The
+// execution must be Done.
+func (e *Execution) End() (clock.Time, Stats) {
+	if !e.Done() {
+		panic("gpu: End called on unfinished execution")
+	}
+	end := clock.Max(e.cur, e.maxComp)
+	st := e.stats
+	st.Duration = end.Sub(e.start)
+	return end, st
+}
+
+func (e *Execution) record(i int, done clock.Time) {
+	e.c.comp[i%ringSize] = done
+	if done > e.maxComp {
+		e.maxComp = done
+	}
+}
+
+// accessMem times a (possibly SIMD) memory operation issued at issueAt.
+func (c *Core) accessMem(in trace.Inst, issueAt clock.Time, st *Stats) clock.Time {
+	write := in.Kind.IsStore()
+	if !in.Kind.IsSIMD() {
+		st.LineRequests++
+		return c.memory.Access(mem.GPU, in.Addr, write, issueAt)
+	}
+	lanes := in.ActiveLanes()
+	if lanes > c.cfg.SIMDWidth {
+		lanes = c.cfg.SIMDWidth
+	}
+	if c.Coalesce {
+		// Consecutive lanes touch [Addr, Addr+Size): request each unique
+		// line once.
+		first := in.Addr &^ uint64(LineBytes-1)
+		last := (in.Addr + uint64(in.Size) - 1) &^ uint64(LineBytes-1)
+		var done clock.Time
+		for line := first; ; line += LineBytes {
+			st.LineRequests++
+			if d := c.memory.Access(mem.GPU, line, write, issueAt); d > done {
+				done = d
+			}
+			if line == last {
+				break
+			}
+		}
+		return done
+	}
+	// Uncoalesced: one memory transaction per active lane, issued at one
+	// per cycle — without a coalescer the load/store unit serialises the
+	// lanes even when they hit the same line.
+	laneBytes := uint64(in.Size) / uint64(lanes)
+	if laneBytes == 0 {
+		laneBytes = 1
+	}
+	var done clock.Time
+	for l := 0; l < lanes; l++ {
+		st.LineRequests++
+		addr := in.Addr + uint64(l)*laneBytes
+		at := issueAt.Add(clock.Duration(l) * c.cycle)
+		if d := c.memory.Access(mem.GPU, addr, write, at); d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+func pushLevel(l uint8) mem.Level {
+	switch l {
+	case trace.PushShared:
+		return mem.LevelShared
+	case trace.PushSoftware:
+		return mem.LevelSoftware
+	default:
+		return mem.LevelPrivate
+	}
+}

@@ -1,0 +1,240 @@
+package gpu
+
+import (
+	"testing"
+
+	"heteromem/internal/cache"
+	"heteromem/internal/clock"
+	"heteromem/internal/config"
+	"heteromem/internal/isa"
+	"heteromem/internal/mem"
+	"heteromem/internal/trace"
+)
+
+// fakeMem is a fixed-latency memory with a real scratchpad.
+type fakeMem struct {
+	lat      clock.Duration
+	accesses int
+	pushes   int
+	sp       *cache.Scratchpad
+}
+
+func newFake(lat clock.Duration) *fakeMem {
+	return &fakeMem{lat: lat, sp: cache.NewScratchpad("sw", 16<<10)}
+}
+
+func (f *fakeMem) Access(pu mem.PU, addr uint64, write bool, now clock.Time) clock.Time {
+	f.accesses++
+	return now.Add(f.lat)
+}
+
+func (f *fakeMem) Push(pu mem.PU, addr uint64, size uint32, level mem.Level, now clock.Time) clock.Time {
+	f.pushes++
+	if level == mem.LevelSoftware {
+		_ = f.sp.Place(addr, uint64(size))
+	}
+	return now.Add(f.lat)
+}
+
+func (f *fakeMem) Scratchpad() *cache.Scratchpad { return f.sp }
+
+func zeroComm(isa.Kind, uint32) clock.Duration { return 0 }
+
+func newCore(m Memory) *Core {
+	return New(config.BaselineGPU(), m, zeroComm, 2*clock.NewDomain("gpu", 1500).PeriodPS())
+}
+
+func TestInOrderSingleIssue(t *testing.T) {
+	c := newCore(newFake(0))
+	n := 3000
+	s := make(trace.Stream, n)
+	for i := range s {
+		s[i] = trace.Inst{PC: uint64(i) * 4, Kind: isa.SIMDALU}
+	}
+	end, st := c.Run(s, 0)
+	cycles := c.Domain().DurationToCycles(end.Sub(0))
+	// Single issue: about one cycle per instruction.
+	if cycles+4 < uint64(n) {
+		t.Fatalf("%d SIMD ops in %d cycles; in-order core cannot beat 1/cycle", n, cycles)
+	}
+	// Independent pipelined ops: not much more than n + drain.
+	if cycles > uint64(n)+10 {
+		t.Fatalf("independent ops took %d cycles, want ~%d", cycles, n)
+	}
+	if st.Instructions != uint64(n) {
+		t.Fatalf("instructions = %d", st.Instructions)
+	}
+}
+
+func TestBranchStalls(t *testing.T) {
+	c := newCore(newFake(0))
+	var s trace.Stream
+	nBr := 100
+	for i := 0; i < nBr; i++ {
+		s = append(s, trace.Inst{PC: uint64(i) * 4, Kind: isa.Branch, Taken: true})
+	}
+	end, st := c.Run(s, 0)
+	cycles := c.Domain().DurationToCycles(end.Sub(0))
+	// Every branch stalls: 1 (resolve) + BranchStall cycles each.
+	minCycles := uint64(nBr) * (1 + config.BaselineGPU().BranchStall)
+	if cycles < minCycles {
+		t.Fatalf("%d branches in %d cycles, want >= %d (stall on branch)", nBr, cycles, minCycles)
+	}
+	if st.Branches != uint64(nBr) {
+		t.Fatalf("branches = %d", st.Branches)
+	}
+}
+
+func TestCoalescingReducesRequests(t *testing.T) {
+	// 8 lanes x 4 bytes consecutive = 32 bytes = 1 line when coalesced,
+	// 8 requests otherwise.
+	in := trace.Inst{Kind: isa.SIMDLoad, Addr: 0x1000, Size: 32, Lanes: 8}
+
+	mc := newFake(10 * clock.Nanosecond)
+	c := newCore(mc)
+	_, st := c.Run(trace.Stream{in}, 0)
+	if st.LineRequests != 1 || mc.accesses != 1 {
+		t.Fatalf("coalesced: %d line requests, want 1", st.LineRequests)
+	}
+
+	mu := newFake(10 * clock.Nanosecond)
+	u := newCore(mu)
+	u.Coalesce = false
+	_, st = u.Run(trace.Stream{in}, 0)
+	if st.LineRequests != 8 || mu.accesses != 8 {
+		t.Fatalf("uncoalesced: %d line requests, want 8", st.LineRequests)
+	}
+}
+
+func TestCoalescingSpanningLines(t *testing.T) {
+	// 256-byte footprint spans 4 lines (plus one if unaligned).
+	in := trace.Inst{Kind: isa.SIMDLoad, Addr: 0x1000, Size: 256, Lanes: 8}
+	m := newFake(0)
+	c := newCore(m)
+	_, st := c.Run(trace.Stream{in}, 0)
+	if st.LineRequests != 4 {
+		t.Fatalf("256B aligned burst: %d line requests, want 4", st.LineRequests)
+	}
+}
+
+func TestStallOnUse(t *testing.T) {
+	lat := 200 * clock.Nanosecond
+	// Load then dependent op: total >= load latency.
+	m := newFake(lat)
+	c := newCore(m)
+	s := trace.Stream{
+		{Kind: isa.SIMDLoad, Addr: 0x1000, Size: 32},
+		{Kind: isa.SIMDFP, Dep1: 1},
+	}
+	end, _ := c.Run(s, 0)
+	if end.Sub(0) < lat {
+		t.Fatal("dependent op did not wait for load")
+	}
+	// Load then independent ops: they issue under the load's shadow; only
+	// the final drain waits.
+	m2 := newFake(lat)
+	c2 := newCore(m2)
+	s2 := trace.Stream{
+		{Kind: isa.SIMDLoad, Addr: 0x1000, Size: 32},
+		{Kind: isa.SIMDFP},
+		{Kind: isa.SIMDFP},
+	}
+	end2, _ := c2.Run(s2, 0)
+	slack := 20 * clock.Nanosecond
+	if end2.Sub(0) > lat+slack {
+		t.Fatalf("independent ops did not overlap the load: %v", end2.Sub(0))
+	}
+}
+
+func TestSoftwareCacheHitAndMiss(t *testing.T) {
+	m := newFake(500 * clock.Nanosecond)
+	c := newCore(m)
+	// Place data, then SWLoad hits at the fixed latency.
+	s := trace.Stream{
+		{Kind: isa.Push, Addr: 0x1000, Size: 4096, PushLevel: trace.PushSoftware},
+		{Kind: isa.SWLoad, Addr: 0x1000, Size: 4, Dep1: 1},
+		{Kind: isa.SWLoad, Addr: 0x9000, Size: 4, Dep1: 1}, // never placed
+	}
+	_, st := c.Run(s, 0)
+	if st.SWHits != 1 {
+		t.Fatalf("SW hits = %d, want 1", st.SWHits)
+	}
+	if st.SWMisses != 1 {
+		t.Fatalf("SW misses = %d, want 1", st.SWMisses)
+	}
+}
+
+func TestCommSerialises(t *testing.T) {
+	params := config.TableIV()
+	m := newFake(0)
+	c := New(config.BaselineGPU(), m, params.Latency, clock.Nanosecond)
+	s := trace.Stream{
+		{Kind: isa.APITransfer, Size: 4096},
+		{Kind: isa.SIMDALU},
+	}
+	end, st := c.Run(s, 0)
+	want := params.Latency(isa.APITransfer, 4096)
+	if st.CommTime != want {
+		t.Fatalf("CommTime %v, want %v", st.CommTime, want)
+	}
+	if end.Sub(0) < want {
+		t.Fatal("comm op did not serialise")
+	}
+}
+
+func TestBarrierDrainsMemory(t *testing.T) {
+	lat := 300 * clock.Nanosecond
+	m := newFake(lat)
+	c := newCore(m)
+	s := trace.Stream{
+		{Kind: isa.SIMDStore, Addr: 0x1000, Size: 32},
+		{Kind: isa.Barrier},
+	}
+	end, _ := c.Run(s, 0)
+	if end.Sub(0) < lat {
+		t.Fatal("barrier did not drain the store")
+	}
+}
+
+func TestRunAgainstRealHierarchy(t *testing.T) {
+	h := mem.MustNew(mem.TableII())
+	c := New(config.BaselineGPU(), h, zeroComm, h.Config().SWCacheLat)
+	var s trace.Stream
+	for i := 0; i < 2000; i++ {
+		s = append(s, trace.Inst{PC: uint64(i) * 4, Kind: isa.SIMDLoad, Addr: uint64(i%32) * 64, Size: 32})
+		s = append(s, trace.Inst{PC: uint64(i)*4 + 1, Kind: isa.SIMDFP, Dep1: 1})
+	}
+	end, st := c.Run(s, 0)
+	if end == 0 || st.Instructions != 4000 {
+		t.Fatalf("run failed: %+v", st)
+	}
+	if h.Stats().L1Hits[mem.GPU] == 0 {
+		t.Fatal("expected GPU L1 hits on a 32-line working set")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	c := newCore(newFake(0))
+	end, st := c.Run(nil, 7)
+	if end != 7 || st.Instructions != 0 {
+		t.Fatalf("empty run: end=%v st=%+v", end, st)
+	}
+}
+
+func BenchmarkRunSIMD(b *testing.B) {
+	h := mem.MustNew(mem.TableII())
+	c := New(config.BaselineGPU(), h, zeroComm, h.Config().SWCacheLat)
+	var s trace.Stream
+	for i := 0; i < 10000; i++ {
+		if i%4 == 0 {
+			s = append(s, trace.Inst{PC: uint64(i), Kind: isa.SIMDLoad, Addr: uint64(i%8192) * 32, Size: 32})
+		} else {
+			s = append(s, trace.Inst{PC: uint64(i), Kind: isa.SIMDFP, Dep1: 1})
+		}
+	}
+	b.ResetTimer()
+	var now clock.Time
+	for i := 0; i < b.N; i++ {
+		now, _ = c.Run(s, now)
+	}
+}

@@ -1,0 +1,97 @@
+package gpu
+
+import (
+	"testing"
+
+	"heteromem/internal/clock"
+	"heteromem/internal/isa"
+	"heteromem/internal/trace"
+)
+
+func TestExecutionStepwiseMatchesRun(t *testing.T) {
+	mk := func() trace.Stream {
+		var s trace.Stream
+		for i := 0; i < 4000; i++ {
+			switch i % 4 {
+			case 0:
+				s = append(s, trace.Inst{PC: uint64(i), Kind: isa.SIMDLoad, Addr: uint64(i%256) * 32, Size: 32})
+			case 1:
+				s = append(s, trace.Inst{PC: uint64(i), Kind: isa.SIMDFP, Dep1: 1})
+			case 2:
+				s = append(s, trace.Inst{PC: uint64(i), Kind: isa.Branch, Taken: i%5 != 0})
+			default:
+				s = append(s, trace.Inst{PC: uint64(i), Kind: isa.SIMDStore, Addr: uint64(i%128) * 32, Size: 32, Dep1: 2})
+			}
+		}
+		return s
+	}
+
+	cRun := newCore(newFake(30 * clock.Nanosecond))
+	endRun, stRun := cRun.Run(mk(), 0)
+
+	cStep := newCore(newFake(30 * clock.Nanosecond))
+	e := cStep.Begin(mk(), 0)
+	deadline := clock.Time(0)
+	for !e.Done() {
+		deadline = deadline.Add(200 * clock.Nanosecond)
+		e.StepUntil(deadline)
+	}
+	endStep, stStep := e.End()
+
+	if endRun != endStep {
+		t.Fatalf("stepwise end %v != run end %v", endStep, endRun)
+	}
+	if stRun != stStep {
+		t.Fatalf("stepwise stats %+v != run stats %+v", stStep, stRun)
+	}
+}
+
+func TestExecutionProgressGuarantee(t *testing.T) {
+	c := newCore(newFake(0))
+	s := make(trace.Stream, 50)
+	for i := range s {
+		s[i] = trace.Inst{PC: uint64(i), Kind: isa.SIMDALU}
+	}
+	e := c.Begin(s, 0)
+	for i := 0; i < 50 && !e.Done(); i++ {
+		before := e.i
+		e.StepUntil(e.Now())
+		if e.i == before {
+			t.Fatal("StepUntil(Now()) made no progress")
+		}
+	}
+	if !e.Done() {
+		t.Fatal("execution incomplete")
+	}
+}
+
+func TestExecutionEndPanicsIfUnfinished(t *testing.T) {
+	c := newCore(newFake(0))
+	s := make(trace.Stream, 1000)
+	for i := range s {
+		s[i] = trace.Inst{PC: uint64(i), Kind: isa.SIMDALU}
+	}
+	e := c.Begin(s, clock.Time(clock.Microsecond))
+	e.StepUntil(clock.Time(clock.Microsecond)) // one or two instructions
+	if e.Done() {
+		t.Skip("stream completed in one step")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("End on unfinished execution did not panic")
+		}
+	}()
+	e.End()
+}
+
+func TestExecutionEmptyStream(t *testing.T) {
+	c := newCore(newFake(0))
+	e := c.Begin(nil, 7)
+	if !e.Done() {
+		t.Fatal("empty execution not done")
+	}
+	end, st := e.End()
+	if end != 7 || st.Instructions != 0 {
+		t.Fatalf("empty end=%v st=%+v", end, st)
+	}
+}

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports a sweep's cells as CSV (one row per system x kernel)
+// for external plotting: system, kernel, the three time categories in
+// nanoseconds, the total, and the communication share.
+func WriteCSV(w io.Writer, cells []Cell) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"system", "kernel",
+		"sequential_ns", "parallel_ns", "communication_ns", "total_ns",
+		"comm_share", "page_faults", "ownership_ops",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("harness: writing csv header: %w", err)
+	}
+	for _, c := range cells {
+		r := c.Result
+		row := []string{
+			c.System,
+			c.Kernel,
+			fmt.Sprintf("%.3f", r.Sequential.Nanoseconds()),
+			fmt.Sprintf("%.3f", r.Parallel.Nanoseconds()),
+			fmt.Sprintf("%.3f", r.Communication.Nanoseconds()),
+			fmt.Sprintf("%.3f", r.Total().Nanoseconds()),
+			strconv.FormatFloat(r.CommFraction(), 'f', 6, 64),
+			strconv.Itoa(r.PageFaults),
+			strconv.Itoa(r.OwnershipOps),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("harness: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

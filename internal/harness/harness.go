@@ -1,0 +1,379 @@
+// Package harness drives the paper's experiments end to end: it runs the
+// simulator over the case-study systems and kernels and renders every
+// table and figure of the evaluation section. The hetsweep command, the
+// repository benchmarks and the examples all call into this package so
+// the numbers they print come from one place.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/clock"
+	"heteromem/internal/codegen"
+	"heteromem/internal/config"
+	"heteromem/internal/energy"
+	"heteromem/internal/locality"
+	"heteromem/internal/mem"
+	"heteromem/internal/report"
+	"heteromem/internal/sim"
+	"heteromem/internal/systems"
+	"heteromem/internal/workload"
+)
+
+// Cell is one (system, kernel) measurement.
+type Cell struct {
+	System string
+	Kernel string
+	Result sim.Result
+}
+
+// DefaultKernels returns every Table III kernel name.
+func DefaultKernels() []string { return workload.Names() }
+
+// QuickKernels returns the subset small enough for fast runs (tests,
+// examples): everything but the two multi-million-instruction kernels.
+func QuickKernels() []string {
+	return []string{"reduction", "convolution", "merge-sort"}
+}
+
+// RunCaseStudies simulates the five Figure 5 systems over the named
+// kernels, one fresh simulator per cell.
+func RunCaseStudies(kernels []string) ([]Cell, error) {
+	return runSystems(systems.CaseStudies(), kernels)
+}
+
+// RunAddressSpaces simulates the four Figure 7 configurations (each
+// address-space model with ideal communication and the shared cache).
+func RunAddressSpaces(kernels []string) ([]Cell, error) {
+	var sysList []systems.System
+	for _, m := range addrspace.AllModels() {
+		sysList = append(sysList, systems.ForModel(m))
+	}
+	return runSystems(sysList, kernels)
+}
+
+// runSystems measures every (kernel, system) cell. Each cell is an
+// independent simulation with its own hierarchy, so the cells run
+// concurrently (bounded by GOMAXPROCS); results are deterministic and
+// returned in kernel-major, system-minor order regardless of scheduling.
+func runSystems(sysList []systems.System, kernels []string) ([]Cell, error) {
+	programs := make([]*workload.Program, len(kernels))
+	for i, kernel := range kernels {
+		p, err := workload.Generate(kernel)
+		if err != nil {
+			return nil, err
+		}
+		programs[i] = p
+	}
+
+	type slot struct {
+		cell Cell
+		err  error
+	}
+	cells := make([]slot, len(kernels)*len(sysList))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for ki, p := range programs {
+		for si, sys := range sysList {
+			wg.Add(1)
+			go func(idx int, sys systems.System, p *workload.Program) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				s, err := sim.New(sys)
+				if err != nil {
+					cells[idx].err = err
+					return
+				}
+				res, err := s.Run(p)
+				if err != nil {
+					cells[idx].err = err
+					return
+				}
+				cells[idx].cell = Cell{System: sys.Name, Kernel: p.Name, Result: res}
+			}(ki*len(sysList)+si, sys, p)
+		}
+	}
+	wg.Wait()
+
+	out := make([]Cell, 0, len(cells))
+	for _, s := range cells {
+		if s.err != nil {
+			return nil, s.err
+		}
+		out = append(out, s.cell)
+	}
+	return out, nil
+}
+
+// baseline returns the cell for the named system within one kernel's
+// group, used as the normalisation denominator.
+func baseline(cells []Cell, kernel, system string) (Cell, bool) {
+	for _, c := range cells {
+		if c.Kernel == kernel && c.System == system {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+func kernelsOf(cells []Cell) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if !seen[c.Kernel] {
+			seen[c.Kernel] = true
+			out = append(out, c.Kernel)
+		}
+	}
+	return out
+}
+
+// RenderFigure5 renders the execution-time breakdown (sequential /
+// parallel / communication), normalised per kernel to the CPU+GPU
+// system, as Figure 5 plots it.
+func RenderFigure5(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: execution time breakdown (normalised to CPU+GPU; s=sequential p=parallel c=communication)\n\n")
+	for _, kernel := range kernelsOf(cells) {
+		base, ok := baseline(cells, kernel, "CPU+GPU")
+		if !ok {
+			base = Cell{Result: cells[0].Result}
+		}
+		tbl := report.Table{
+			Title:   kernel,
+			Headers: []string{"system", "seq", "par", "comm", "total", "breakdown"},
+		}
+		for _, c := range cells {
+			if c.Kernel != kernel {
+				continue
+			}
+			seq, par, com := c.Result.Normalized(base.Result)
+			tbl.AddRow(
+				c.System,
+				report.F3(seq), report.F3(par), report.F3(com), report.F3(seq+par+com),
+				report.StackedBar([]float64{seq, par, com}, []rune{'s', 'p', 'c'}, 40),
+			)
+		}
+		b.WriteString(tbl.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFigure6 renders communication overhead only (Figure 6).
+func RenderFigure6(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: communication overhead\n\n")
+	for _, kernel := range kernelsOf(cells) {
+		var maxComm clock.Duration
+		for _, c := range cells {
+			if c.Kernel == kernel && c.Result.Communication > maxComm {
+				maxComm = c.Result.Communication
+			}
+		}
+		tbl := report.Table{
+			Title:   kernel,
+			Headers: []string{"system", "comm", "share", "relative"},
+		}
+		for _, c := range cells {
+			if c.Kernel != kernel {
+				continue
+			}
+			rel := 0.0
+			if maxComm > 0 {
+				rel = float64(c.Result.Communication) / float64(maxComm)
+			}
+			tbl.AddRow(
+				c.System,
+				report.Dur(c.Result.Communication),
+				report.Pct(c.Result.CommFraction()),
+				report.Bar(rel, 30),
+			)
+		}
+		b.WriteString(tbl.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFigure7 renders the address-space comparison under ideal
+// communication (Figure 7), normalised per kernel to the unified model.
+func RenderFigure7(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: memory address space design options, ideal communication (normalised to unified)\n\n")
+	tbl := report.Table{Headers: []string{"kernel", "UNI", "DIS", "PAS", "ADSM", "max delta"}}
+	for _, kernel := range kernelsOf(cells) {
+		vals := map[string]float64{}
+		var base float64
+		for _, c := range cells {
+			if c.Kernel != kernel {
+				continue
+			}
+			vals[c.System] = float64(c.Result.Total())
+			if c.System == "ideal-unified" {
+				base = float64(c.Result.Total())
+			}
+		}
+		if base == 0 {
+			continue
+		}
+		uni := vals["ideal-unified"] / base
+		dis := vals["ideal-disjoint"] / base
+		pas := vals["ideal-partially-shared"] / base
+		adsm := vals["ideal-adsm"] / base
+		maxd := 0.0
+		for _, v := range []float64{uni, dis, pas, adsm} {
+			if d := v - 1; d > maxd {
+				maxd = d
+			}
+			if d := 1 - v; d > maxd {
+				maxd = d
+			}
+		}
+		tbl.AddRow(kernel, report.F3(uni), report.F3(dis), report.F3(pas), report.F3(adsm), report.Pct(maxd))
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}
+
+// RenderTable1 renders the Table I survey.
+func RenderTable1() string {
+	tbl := report.Table{
+		Title: "Table I: summary of heterogeneous computing memory systems",
+		Headers: []string{"scheme", "address space", "connection", "coherence",
+			"shared data", "consistency", "synchronization", "locality"},
+	}
+	for _, e := range systems.TableI() {
+		tbl.AddRow(e.Scheme, e.AddressSpace, e.Connection, e.Coherence,
+			e.SharedDataUse, e.Consistency, e.Synchronization, e.Locality)
+	}
+	f := systems.Findings()
+	return tbl.String() + fmt.Sprintf(
+		"\n%d systems: %d disjoint, %d unified, %d partially shared, %d ADSM; fully-coherent strong-consistent unified: %d\n",
+		f.Total, f.Disjoint, f.Unified, f.PartiallyShared, f.ADSM, f.FullyCoherentUnified)
+}
+
+// RenderTable2 renders the baseline configuration (Table II).
+func RenderTable2() string {
+	cpu := config.BaselineCPU()
+	gpu := config.BaselineGPU()
+	m := mem.TableII()
+	tbl := report.Table{
+		Title:   "Table II: baseline system configuration",
+		Headers: []string{"component", "CPU", "GPU"},
+	}
+	tbl.AddRow("cores", 1, 1)
+	tbl.AddRow("execution engine",
+		fmt.Sprintf("%.1fGHz out-of-order (%d-wide, ROB %d)", cpu.FreqMHz/1000, cpu.IssueWidth, cpu.ROBSize),
+		fmt.Sprintf("%.1fGHz in-order %d-wide SIMD", gpu.FreqMHz/1000, gpu.SIMDWidth))
+	tbl.AddRow("branch predictor",
+		fmt.Sprintf("gshare (2^%d entries)", cpu.PredictorTableBits),
+		"N/A (stall on branch)")
+	tbl.AddRow("L1 D-cache",
+		fmt.Sprintf("%d-way %dKB (%v)", m.CPUL1D.Ways, m.CPUL1D.SizeBytes>>10, m.CPUL1DLat),
+		fmt.Sprintf("%d-way %dKB (%v)", m.GPUL1D.Ways, m.GPUL1D.SizeBytes>>10, m.GPUL1DLat))
+	tbl.AddRow("software-managed cache", "-", fmt.Sprintf("%dKB (%v)", m.SWCacheBytes>>10, m.SWCacheLat))
+	tbl.AddRow("L2", fmt.Sprintf("%d-way %dKB (%v)", m.CPUL2.Ways, m.CPUL2.SizeBytes>>10, m.CPUL2Lat), "N/A")
+	tbl.AddRow("L3 (shared)",
+		fmt.Sprintf("%d-way %dMB, %d tiles (%v)", m.L3Tile.Ways, m.L3Tiles*m.L3Tile.SizeBytes>>20, m.L3Tiles, m.L3Lat), "")
+	tbl.AddRow("interconnection", "ring-bus network", "")
+	tbl.AddRow("DRAM",
+		fmt.Sprintf("DDR3-1333, %d controllers, %.1fGB/s, FR-FCFS", m.DRAM.Channels, m.DRAM.PeakBandwidthGBs()), "")
+	return tbl.String()
+}
+
+// RenderTable3 renders the benchmark characteristics, checking the
+// generated programs against the published values.
+func RenderTable3() string {
+	tbl := report.Table{
+		Title:   "Table III: benchmark characteristics (generated vs paper)",
+		Headers: []string{"name", "pattern", "CPU insts", "GPU insts", "serial", "#comm", "initial transfer (B)", "matches paper"},
+	}
+	paper := workload.TableIII()
+	for i, p := range workload.All() {
+		c := p.Characteristics()
+		match := c == paper[i]
+		tbl.AddRow(c.Name, c.Pattern, c.CPUInsts, c.GPUInsts, c.SerialInsts, c.Comms, c.InitialTransferBytes, match)
+	}
+	return tbl.String()
+}
+
+// RenderTable4 renders the communication modeling parameters.
+func RenderTable4() string {
+	p := config.TableIV()
+	tbl := report.Table{
+		Title:   "Table IV: communication overhead modeling parameters",
+		Headers: []string{"name", "description", "system", "latency"},
+	}
+	tbl.AddRow("api-pci", "mem copy using PCI-E", "CPU+GPU, GMAC", fmt.Sprintf("%d + bytes@%.0fGB/s", p.APIPCICycles, p.PCIRateGBs))
+	tbl.AddRow("api-acq", "acquire action", "LRB", p.APIAcqCycles)
+	tbl.AddRow("api-tr", "data transfer", "LRB", fmt.Sprintf("%d + bytes@%.0fGB/s", p.APITrCycles, p.PCIRateGBs))
+	tbl.AddRow("lib-pf", "page fault", "LRB", p.LibPFCycles)
+	return tbl.String()
+}
+
+// RenderTable5 renders the programmability study, generated vs paper.
+func RenderTable5() string {
+	tbl := report.Table{
+		Title:   "Table V: source lines to handle data communication",
+		Headers: []string{"kernel", "Comp", "UNI", "PAS", "DIS", "ADSM", "matches paper"},
+	}
+	paper := codegen.PaperTableV()
+	for i, r := range codegen.TableV() {
+		tbl.AddRow(r.Kernel, r.Comp, r.UNI, r.PAS, r.DIS, r.ADSM, r == paper[i])
+	}
+	return tbl.String()
+}
+
+// RenderEnergy renders the estimated energy breakdown per system for each
+// kernel in the sweep — the paper's power/energy motivation quantified.
+func RenderEnergy(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("Energy breakdown (nJ, event-energy model; see internal/energy)\n\n")
+	for _, kernel := range kernelsOf(cells) {
+		tbl := report.Table{
+			Title:   kernel,
+			Headers: []string{"system", "cores", "caches", "dram", "noc", "comm", "total"},
+		}
+		for _, c := range cells {
+			if c.Kernel != kernel {
+				continue
+			}
+			e := energy.EstimateDefault(c.Result)
+			tbl.AddRow(c.System,
+				fmt.Sprintf("%.0f", e.Cores), fmt.Sprintf("%.0f", e.Caches),
+				fmt.Sprintf("%.0f", e.DRAM), fmt.Sprintf("%.0f", e.Interconnect),
+				fmt.Sprintf("%.0f", e.Communication), fmt.Sprintf("%.0f", e.Total()))
+		}
+		b.WriteString(tbl.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderLocalityOptions renders the locality-management option counts per
+// address-space model (conclusion 3).
+func RenderLocalityOptions() string {
+	tbl := report.Table{
+		Title:   "Locality management options per address space (Section II-B)",
+		Headers: []string{"model", "well-formed", "desirable", "schemes"},
+	}
+	for _, m := range addrspace.AllModels() {
+		opts := locality.DesirableOptions(m)
+		var names []string
+		for _, s := range opts {
+			names = append(names, s.Name())
+		}
+		preview := strings.Join(names, ", ")
+		if len(preview) > 70 {
+			preview = preview[:67] + "..."
+		}
+		tbl.AddRow(m, len(locality.Options(m)), len(opts), preview)
+	}
+	return tbl.String()
+}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTransferSensitivitySweep(t *testing.T) {
+	points, err := RunTransferSensitivity("reduction", []float64{0.25, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*5 {
+		t.Fatalf("points = %d, want 10", len(points))
+	}
+
+	comm := func(scale float64, system string) float64 {
+		for _, pt := range points {
+			if pt.Scale == scale && pt.System == system {
+				return pt.Result.CommFraction()
+			}
+		}
+		t.Fatalf("missing point %v/%s", scale, system)
+		return 0
+	}
+	// Growing the transfer volume grows the PCI-E system's communication
+	// share.
+	if comm(4, "CPU+GPU") <= comm(0.25, "CPU+GPU") {
+		t.Errorf("CPU+GPU comm share did not grow with volume: %v vs %v",
+			comm(0.25, "CPU+GPU"), comm(4, "CPU+GPU"))
+	}
+	// IDEAL stays at zero regardless.
+	if comm(4, "IDEAL-HETERO") != 0 {
+		t.Error("ideal system gained communication")
+	}
+	// At large volumes the PCI-E system is hit harder than Fusion: the
+	// gap widens with scale.
+	gapSmall := comm(0.25, "CPU+GPU") - comm(0.25, "Fusion")
+	gapLarge := comm(4, "CPU+GPU") - comm(4, "Fusion")
+	if gapLarge <= gapSmall {
+		t.Errorf("PCI-E vs memctrl gap did not widen: %v -> %v", gapSmall, gapLarge)
+	}
+}
+
+func TestRenderSensitivity(t *testing.T) {
+	points, err := RunTransferSensitivity("merge-sort", []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSensitivity("merge-sort", points)
+	for _, want := range []string{"merge-sort", "1x", "CPU+GPU", "Slowdown over IDEAL-HETERO", "1.000x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSensitivityUnknownKernel(t *testing.T) {
+	if _, err := RunTransferSensitivity("nope", []float64{1}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestSensitivityBadScale(t *testing.T) {
+	if _, err := RunTransferSensitivity("reduction", []float64{0}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}

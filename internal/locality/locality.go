@@ -1,0 +1,237 @@
+// Package locality models the locality-management design space of
+// Section II-B: whether each processing unit's private cache and the
+// shared second-level space are managed implicitly (by hardware),
+// explicitly (by push statements in the program), or — for the shared
+// space — by the paper's hybrid scheme (Section II-B5), where a
+// per-block locality bit lets implicitly and explicitly managed data
+// coexist in one physical cache.
+//
+// The package enumerates which schemes are available (and desirable)
+// under each address-space model, which quantifies the paper's third
+// conclusion: the partially shared address space allows the most
+// locality-management options. It also plans the explicit push
+// instructions a scheme requires, the only performance cost of explicit
+// management the paper identifies (Section V-D).
+package locality
+
+import (
+	"fmt"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/mem"
+	"heteromem/internal/trace"
+)
+
+// Mgmt is a locality-management mode for one part of the hierarchy.
+type Mgmt uint8
+
+const (
+	// None means the space does not exist under the model (the shared
+	// space of a disjoint address space).
+	None Mgmt = iota
+	// Implicit management is performed by hardware caching.
+	Implicit
+	// Explicit management is performed by the program (push statements).
+	Explicit
+	// Hybrid supports implicit and explicit data simultaneously via the
+	// locality bit in the replacement logic (shared space only).
+	Hybrid
+)
+
+func (m Mgmt) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Implicit:
+		return "impl"
+	case Explicit:
+		return "expl"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("mgmt(%d)", uint8(m))
+	}
+}
+
+// Scheme is one locality-management configuration: a mode per private
+// cache plus one for the shared space.
+type Scheme struct {
+	CPUPrivate Mgmt
+	GPUPrivate Mgmt
+	Shared     Mgmt
+}
+
+// Name returns the paper's naming convention, e.g.
+// "impl-pri-expl-pri-expl-shared" for implicit CPU-private, explicit
+// GPU-private, explicit shared.
+func (s Scheme) Name() string {
+	if s.Shared == None {
+		return fmt.Sprintf("%s-pri-%s-pri", s.CPUPrivate, s.GPUPrivate)
+	}
+	return fmt.Sprintf("%s-pri-%s-pri-%s-shared", s.CPUPrivate, s.GPUPrivate, s.Shared)
+}
+
+// Named schemes discussed in Section II-B.
+var (
+	// ImplPrivExplShared is Section II-B1: hardware manages private
+	// caches, the program manages the shared space.
+	ImplPrivExplShared = Scheme{Implicit, Implicit, Explicit}
+	// ExplPrivImplShared is Section II-B2: the program manages private
+	// caches, hardware manages the shared space.
+	ExplPrivImplShared = Scheme{Explicit, Explicit, Implicit}
+	// MixedPrivExplShared is Section II-B3: the PUs differ in private
+	// management, the shared space is explicit.
+	MixedPrivExplShared = Scheme{Implicit, Explicit, Explicit}
+	// MixedPrivImplShared is Section II-B4: the PUs differ in private
+	// management, the shared space is implicit.
+	MixedPrivImplShared = Scheme{Implicit, Explicit, Implicit}
+	// HybridShared is Section II-B5: the shared space supports both
+	// managements at once via the locality bit.
+	HybridShared = Scheme{Implicit, Explicit, Hybrid}
+)
+
+// Validate reports whether the scheme is well-formed under the model:
+// private modes must be implicit or explicit; the shared mode must be
+// None exactly when the model has no shared space (disjoint).
+func (s Scheme) Validate(model addrspace.Model) error {
+	if s.CPUPrivate != Implicit && s.CPUPrivate != Explicit {
+		return fmt.Errorf("locality: CPU private mode %v must be impl or expl", s.CPUPrivate)
+	}
+	if s.GPUPrivate != Implicit && s.GPUPrivate != Explicit {
+		return fmt.Errorf("locality: GPU private mode %v must be impl or expl", s.GPUPrivate)
+	}
+	if model == addrspace.Disjoint {
+		if s.Shared != None {
+			return fmt.Errorf("locality: disjoint space has no shared cache to manage (%v)", s.Shared)
+		}
+		return nil
+	}
+	if s.Shared == None {
+		return fmt.Errorf("locality: model %v has a shared space; scheme must manage it", model)
+	}
+	return nil
+}
+
+// Desirable reports whether the scheme is a sensible design point under
+// the model, following the paper's qualitative analysis:
+//
+//   - Unified: explicit or hybrid shared management is undesirable
+//     because potentially the whole space is shared, so programmers would
+//     have to explicitly manage every data structure (Section II-B1).
+//   - ADSM: the hybrid scheme relies on the partially shared space's
+//     ownership/type information to tell explicit from implicit data;
+//     ADSM was proposed as a software-only model without it.
+//   - PartiallyShared: every scheme is available — the paper's point.
+func (s Scheme) Desirable(model addrspace.Model) bool {
+	if s.Validate(model) != nil {
+		return false
+	}
+	switch model {
+	case addrspace.Unified:
+		return s.Shared == Implicit
+	case addrspace.ADSM:
+		return s.Shared != Hybrid
+	default:
+		return true
+	}
+}
+
+// privateModes are the choices for a private cache.
+var privateModes = []Mgmt{Implicit, Explicit}
+
+// sharedModes are the choices for the shared space where one exists.
+var sharedModes = []Mgmt{Implicit, Explicit, Hybrid}
+
+// Options returns every well-formed scheme under the model.
+func Options(model addrspace.Model) []Scheme {
+	var out []Scheme
+	for _, c := range privateModes {
+		for _, g := range privateModes {
+			if model == addrspace.Disjoint {
+				out = append(out, Scheme{c, g, None})
+				continue
+			}
+			for _, sh := range sharedModes {
+				out = append(out, Scheme{c, g, sh})
+			}
+		}
+	}
+	return out
+}
+
+// DesirableOptions returns the schemes that are sensible design points
+// under the model. Comparing counts across models reproduces the paper's
+// conclusion 3: partially shared > ADSM > unified = disjoint.
+func DesirableOptions(model addrspace.Model) []Scheme {
+	var out []Scheme
+	for _, s := range Options(model) {
+		if s.Desirable(model) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PushOp is one explicit placement a scheme requires.
+type PushOp struct {
+	// PU executes the push.
+	PU mem.PU
+	// Addr and Size identify the object.
+	Addr uint64
+	Size uint32
+	// Level is the trace push level (trace.PushPrivate / PushShared /
+	// PushSoftware).
+	Level uint8
+}
+
+// Object describes one data object for push planning.
+type Object struct {
+	Addr uint64
+	Size uint32
+	// Region is where the object is allocated.
+	Region addrspace.Region
+	// User is the PU that computes on the object.
+	User mem.PU
+	// Critical marks data the program would explicitly place under a
+	// hybrid shared scheme (only critical data is managed explicitly;
+	// the rest rides on implicit caching — Section II-B5).
+	Critical bool
+}
+
+// Plan returns the push operations the scheme requires for the given
+// objects: explicit private management pushes each object into its
+// user's first-level (software cache for the GPU); explicit shared
+// management pushes shared objects into the second-level cache; the
+// hybrid scheme pushes only critical shared objects.
+func Plan(s Scheme, objects []Object) []PushOp {
+	var out []PushOp
+	for _, o := range objects {
+		switch o.Region {
+		case addrspace.Shared:
+			switch s.Shared {
+			case Explicit:
+				out = append(out, PushOp{PU: o.User, Addr: o.Addr, Size: o.Size, Level: trace.PushShared})
+			case Hybrid:
+				if o.Critical {
+					out = append(out, PushOp{PU: o.User, Addr: o.Addr, Size: o.Size, Level: trace.PushShared})
+				}
+			}
+		case addrspace.CPUPrivate:
+			if s.CPUPrivate == Explicit && o.User == mem.CPU {
+				out = append(out, PushOp{PU: mem.CPU, Addr: o.Addr, Size: o.Size, Level: trace.PushPrivate})
+			}
+		case addrspace.GPUPrivate:
+			if s.GPUPrivate == Explicit && o.User == mem.GPU {
+				out = append(out, PushOp{PU: mem.GPU, Addr: o.Addr, Size: o.Size, Level: trace.PushSoftware})
+			}
+		}
+	}
+	return out
+}
+
+// ExtraInstructions returns how many additional instructions the scheme
+// adds for the given objects — the paper's observation that explicit
+// locality management costs only its push instructions (Section V-D).
+func ExtraInstructions(s Scheme, objects []Object) int {
+	return len(Plan(s, objects))
+}

@@ -1,0 +1,205 @@
+package locality
+
+import (
+	"strings"
+	"testing"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/mem"
+	"heteromem/internal/trace"
+)
+
+func TestSchemeNames(t *testing.T) {
+	if got := ImplPrivExplShared.Name(); got != "impl-pri-impl-pri-expl-shared" {
+		t.Errorf("name = %q", got)
+	}
+	if got := HybridShared.Name(); got != "impl-pri-expl-pri-hybrid-shared" {
+		t.Errorf("name = %q", got)
+	}
+	disjoint := Scheme{Implicit, Explicit, None}
+	if got := disjoint.Name(); got != "impl-pri-expl-pri" {
+		t.Errorf("disjoint name = %q", got)
+	}
+	if !strings.Contains(Mgmt(9).String(), "9") {
+		t.Error("unknown mgmt should print value")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	// The named schemes are valid under partially shared.
+	for _, s := range []Scheme{ImplPrivExplShared, ExplPrivImplShared, MixedPrivExplShared, MixedPrivImplShared, HybridShared} {
+		if err := s.Validate(addrspace.PartiallyShared); err != nil {
+			t.Errorf("%v invalid under PAS: %v", s.Name(), err)
+		}
+	}
+	// Disjoint must not manage a shared space.
+	if err := ImplPrivExplShared.Validate(addrspace.Disjoint); err == nil {
+		t.Error("shared management accepted under disjoint")
+	}
+	if err := (Scheme{Implicit, Implicit, None}).Validate(addrspace.Disjoint); err != nil {
+		t.Errorf("disjoint scheme rejected: %v", err)
+	}
+	// Models with a shared space require managing it.
+	if err := (Scheme{Implicit, Implicit, None}).Validate(addrspace.Unified); err == nil {
+		t.Error("None shared accepted under unified")
+	}
+	// Private modes must be impl or expl.
+	if err := (Scheme{Hybrid, Implicit, Implicit}).Validate(addrspace.Unified); err == nil {
+		t.Error("hybrid private accepted")
+	}
+	if err := (Scheme{Implicit, None, Implicit}).Validate(addrspace.Unified); err == nil {
+		t.Error("none private accepted")
+	}
+}
+
+func TestPartiallySharedHasMostOptions(t *testing.T) {
+	// Conclusion 3: the partially shared address space allows the most
+	// locality management options.
+	counts := make(map[addrspace.Model]int)
+	for _, m := range addrspace.AllModels() {
+		counts[m] = len(DesirableOptions(m))
+	}
+	pas := counts[addrspace.PartiallyShared]
+	for _, m := range addrspace.AllModels() {
+		if m == addrspace.PartiallyShared {
+			continue
+		}
+		if counts[m] >= pas {
+			t.Errorf("%v has %d options >= partially shared's %d", m, counts[m], pas)
+		}
+	}
+	// Expected counts: PAS 2*2*3=12, ADSM 2*2*2=8, UNI 2*2=4, DIS 2*2=4.
+	want := map[addrspace.Model]int{
+		addrspace.PartiallyShared: 12,
+		addrspace.ADSM:            8,
+		addrspace.Unified:         4,
+		addrspace.Disjoint:        4,
+	}
+	for m, w := range want {
+		if counts[m] != w {
+			t.Errorf("%v: %d desirable options, want %d", m, counts[m], w)
+		}
+	}
+}
+
+func TestOptionsAllValid(t *testing.T) {
+	for _, m := range addrspace.AllModels() {
+		for _, s := range Options(m) {
+			if err := s.Validate(m); err != nil {
+				t.Errorf("Options(%v) yielded invalid %v: %v", m, s.Name(), err)
+			}
+		}
+	}
+	if got := len(Options(addrspace.Disjoint)); got != 4 {
+		t.Errorf("disjoint options = %d, want 4", got)
+	}
+	if got := len(Options(addrspace.Unified)); got != 12 {
+		t.Errorf("unified options = %d, want 12", got)
+	}
+}
+
+func TestUnifiedExplicitSharedUndesirable(t *testing.T) {
+	// Section II-B1: explicit shared management under unified is
+	// undesirable (all memory is potentially shared).
+	if ImplPrivExplShared.Desirable(addrspace.Unified) {
+		t.Error("expl-shared desirable under unified")
+	}
+	if !ExplPrivImplShared.Desirable(addrspace.Unified) {
+		t.Error("impl-shared not desirable under unified")
+	}
+	if HybridShared.Desirable(addrspace.ADSM) {
+		t.Error("hybrid desirable under ADSM")
+	}
+	if !HybridShared.Desirable(addrspace.PartiallyShared) {
+		t.Error("hybrid not desirable under partially shared")
+	}
+}
+
+func testObjects() []Object {
+	return []Object{
+		{Addr: 0x1000, Size: 4096, Region: addrspace.CPUPrivate, User: mem.CPU},
+		{Addr: 0x2000, Size: 4096, Region: addrspace.GPUPrivate, User: mem.GPU},
+		{Addr: 0x3000, Size: 4096, Region: addrspace.Shared, User: mem.CPU, Critical: true},
+		{Addr: 0x4000, Size: 4096, Region: addrspace.Shared, User: mem.GPU},
+	}
+}
+
+func TestPlanExplicitShared(t *testing.T) {
+	ops := Plan(ImplPrivExplShared, testObjects())
+	// Both shared objects pushed, no private pushes.
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d, want 2: %+v", len(ops), ops)
+	}
+	for _, op := range ops {
+		if op.Level != trace.PushShared {
+			t.Errorf("push level %d, want shared", op.Level)
+		}
+	}
+}
+
+func TestPlanExplicitPrivate(t *testing.T) {
+	ops := Plan(ExplPrivImplShared, testObjects())
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d, want 2 (one per private object)", len(ops))
+	}
+	var sawCPU, sawGPU bool
+	for _, op := range ops {
+		switch op.PU {
+		case mem.CPU:
+			sawCPU = true
+			if op.Level != trace.PushPrivate {
+				t.Error("CPU private push should target the private cache")
+			}
+		case mem.GPU:
+			sawGPU = true
+			if op.Level != trace.PushSoftware {
+				t.Error("GPU private push should target the software cache")
+			}
+		}
+	}
+	if !sawCPU || !sawGPU {
+		t.Error("missing a private push")
+	}
+}
+
+func TestPlanHybridOnlyCritical(t *testing.T) {
+	ops := Plan(HybridShared, testObjects())
+	// Hybrid: only the critical shared object is pushed to S; the GPU
+	// private object is explicit under this scheme too.
+	var shared, private int
+	for _, op := range ops {
+		if op.Level == trace.PushShared {
+			shared++
+			if op.Addr != 0x3000 {
+				t.Errorf("pushed non-critical shared object %#x", op.Addr)
+			}
+		} else {
+			private++
+		}
+	}
+	if shared != 1 {
+		t.Fatalf("shared pushes = %d, want 1 (critical only)", shared)
+	}
+	if private != 1 {
+		t.Fatalf("private pushes = %d, want 1 (GPU explicit private)", private)
+	}
+}
+
+func TestPlanAllImplicitEmpty(t *testing.T) {
+	allImpl := Scheme{Implicit, Implicit, Implicit}
+	if ops := Plan(allImpl, testObjects()); len(ops) != 0 {
+		t.Fatalf("all-implicit scheme planned %d pushes", len(ops))
+	}
+	if ExtraInstructions(allImpl, testObjects()) != 0 {
+		t.Fatal("all-implicit scheme has extra instructions")
+	}
+}
+
+func TestExtraInstructionsMatchesPlan(t *testing.T) {
+	objs := testObjects()
+	for _, s := range DesirableOptions(addrspace.PartiallyShared) {
+		if got, want := ExtraInstructions(s, objs), len(Plan(s, objs)); got != want {
+			t.Errorf("%v: extra = %d, plan = %d", s.Name(), got, want)
+		}
+	}
+}

@@ -1,0 +1,527 @@
+// Package mem composes the cache, interconnect and DRAM substrates into
+// the memory hierarchy of Table II: per-PU first-level caches, the CPU's
+// private L2, a shared four-tile L3 reached over the ring bus, and the
+// DDR3 memory controllers behind it. The hierarchy times individual
+// accesses and explicit push placements, and exposes the GPU's
+// software-managed cache.
+package mem
+
+import (
+	"fmt"
+
+	"heteromem/internal/cache"
+	"heteromem/internal/clock"
+	"heteromem/internal/coherence"
+	"heteromem/internal/dram"
+	"heteromem/internal/noc"
+)
+
+// PU identifies a processing unit attached to the hierarchy.
+type PU uint8
+
+const (
+	// CPU is the out-of-order general-purpose core.
+	CPU PU = iota
+	// GPU is the in-order SIMD accelerator core.
+	GPU
+	// NumPUs is the number of processing units.
+	NumPUs
+)
+
+func (p PU) String() string {
+	switch p {
+	case CPU:
+		return "cpu"
+	case GPU:
+		return "gpu"
+	default:
+		return fmt.Sprintf("pu(%d)", uint8(p))
+	}
+}
+
+// Level identifies a target cache level for explicit (push) placement.
+type Level uint8
+
+const (
+	// LevelPrivate places data in the PU's first-level data cache.
+	LevelPrivate Level = iota
+	// LevelShared places data in the shared second-level (L3) cache —
+	// the "push(x, S)" of the paper's locality examples (Figure 4).
+	LevelShared
+	// LevelSoftware places data in the GPU's software-managed cache.
+	LevelSoftware
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelPrivate:
+		return "private"
+	case LevelShared:
+		return "shared"
+	case LevelSoftware:
+		return "software"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Config describes the whole hierarchy. Latencies are absolute durations;
+// callers convert from cycle counts in the owning frequency domain.
+type Config struct {
+	CPUL1D cache.Config
+	CPUL2  cache.Config
+	GPUL1D cache.Config
+	// L3Tile is the configuration of one L3 tile; L3Tiles tiles are
+	// instantiated and lines interleave across them.
+	L3Tile  cache.Config
+	L3Tiles int
+
+	CPUL1DLat clock.Duration
+	CPUL2Lat  clock.Duration
+	GPUL1DLat clock.Duration
+	L3Lat     clock.Duration
+
+	// SWCacheBytes is the GPU software-managed cache capacity.
+	SWCacheBytes uint64
+	// SWCacheLat is its fixed access latency.
+	SWCacheLat clock.Duration
+
+	// MSHRsPerPU bounds outstanding misses per PU (0 = unlimited).
+	MSHRsPerPU int
+
+	// Coherence selects hardware coherence across the PUs' private
+	// caches. The baseline leaves it off: none of the surveyed systems
+	// builds full cross-PU hardware coherence (Table I), and the paper's
+	// ideal system treats coherence as free. Enabling the directory
+	// measures what that "free" actually costs.
+	Coherence CoherenceMode
+
+	Ring noc.Config
+	DRAM dram.Config
+}
+
+// CoherenceMode selects the cross-PU coherence machinery.
+type CoherenceMode uint8
+
+const (
+	// CoherenceNone trusts software (flushes at ownership/kernel
+	// boundaries) to keep data coherent.
+	CoherenceNone CoherenceMode = iota
+	// CoherenceDirectory runs a directory-based MSI protocol between the
+	// PUs' private hierarchies, priced over the ring.
+	CoherenceDirectory
+)
+
+func (m CoherenceMode) String() string {
+	switch m {
+	case CoherenceNone:
+		return "none"
+	case CoherenceDirectory:
+		return "directory"
+	default:
+		return fmt.Sprintf("coherence(%d)", uint8(m))
+	}
+}
+
+// Ring stop layout: CPU, GPU, L3 tiles, then the memory controller stop.
+func (c Config) cpuStop() int        { return 0 }
+func (c Config) gpuStop() int        { return 1 }
+func (c Config) l3Stop(tile int) int { return 2 + tile }
+func (c Config) mcStop() int         { return 2 + c.L3Tiles }
+
+func (c Config) validate() error {
+	if c.L3Tiles <= 0 {
+		return fmt.Errorf("mem: L3 tiles %d must be positive", c.L3Tiles)
+	}
+	if c.Ring.Stops != c.mcStop()+1 {
+		return fmt.Errorf("mem: ring has %d stops, hierarchy needs %d", c.Ring.Stops, c.mcStop()+1)
+	}
+	return nil
+}
+
+// TableII returns the paper's baseline hierarchy (Table II), with cache
+// latencies converted using the 3.5 GHz CPU and 1.5 GHz GPU domains:
+// 8-way 32 KB 2-cycle L1s, 8-way 256 KB 8-cycle CPU L2, 32-way 8 MB
+// 20-cycle L3 in 4 tiles, 16 KB software-managed GPU cache, ring bus,
+// DDR3-1333 with 4 controllers.
+func TableII() Config {
+	cpuCycle := clock.NewDomain("cpu", 3500).PeriodPS()
+	gpuCycle := clock.NewDomain("gpu", 1500).PeriodPS()
+	cfg := Config{
+		CPUL1D: cache.Config{Name: "cpu.l1d", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8},
+		CPUL2:  cache.Config{Name: "cpu.l2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 8},
+		GPUL1D: cache.Config{Name: "gpu.l1d", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8},
+		L3Tile: cache.Config{
+			Name: "l3", SizeBytes: 2 << 20, LineBytes: 64, Ways: 32,
+			Policy: cache.LocalityAware,
+		},
+		L3Tiles:      4,
+		CPUL1DLat:    2 * cpuCycle,
+		CPUL2Lat:     8 * cpuCycle,
+		GPUL1DLat:    2 * gpuCycle,
+		L3Lat:        20 * cpuCycle,
+		SWCacheBytes: 16 << 10,
+		SWCacheLat:   2 * gpuCycle,
+		MSHRsPerPU:   16,
+		Ring: noc.Config{
+			Stops:             7, // cpu, gpu, 4 L3 tiles, mc
+			HopLatency:        2 * cpuCycle,
+			LinkBytesPerCycle: 32,
+			CycleTime:         cpuCycle,
+		},
+		DRAM: dram.DDR3_1333(),
+	}
+	return cfg
+}
+
+// Stats counts hierarchy-level events per PU.
+type Stats struct {
+	Accesses   [NumPUs]uint64
+	L1Hits     [NumPUs]uint64
+	L2Hits     uint64 // CPU only
+	L3Hits     [NumPUs]uint64
+	DRAMFills  [NumPUs]uint64
+	Writebacks uint64
+	Pushes     uint64
+	PushBytes  uint64
+	// CoherenceOps counts accesses that required remote invalidations or
+	// forced writebacks under CoherenceDirectory.
+	CoherenceOps uint64
+}
+
+// Hierarchy is the assembled memory system.
+type Hierarchy struct {
+	cfg     Config
+	cpuL1d  *cache.Cache
+	cpuL2   *cache.Cache
+	gpuL1d  *cache.Cache
+	l3      []*cache.Cache
+	ring    *noc.Ring
+	dram    *dram.Controller
+	mshr    [NumPUs]*cache.MSHR
+	scratch *cache.Scratchpad
+	dir     *coherence.Directory
+	stats   Stats
+
+	// reqBytes/respBytes size the ring control and data messages.
+	reqBytes  int
+	lineBytes int
+}
+
+// New assembles a hierarchy from cfg.
+func New(cfg Config) (*Hierarchy, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg, reqBytes: 16, lineBytes: cfg.L3Tile.LineBytes}
+	var err error
+	if h.cpuL1d, err = cache.New(cfg.CPUL1D); err != nil {
+		return nil, err
+	}
+	if h.cpuL2, err = cache.New(cfg.CPUL2); err != nil {
+		return nil, err
+	}
+	if h.gpuL1d, err = cache.New(cfg.GPUL1D); err != nil {
+		return nil, err
+	}
+	h.l3 = make([]*cache.Cache, cfg.L3Tiles)
+	for i := range h.l3 {
+		tileCfg := cfg.L3Tile
+		tileCfg.Name = fmt.Sprintf("l3.t%d", i)
+		if h.l3[i], err = cache.New(tileCfg); err != nil {
+			return nil, err
+		}
+	}
+	if h.ring, err = noc.New(cfg.Ring); err != nil {
+		return nil, err
+	}
+	if h.dram, err = dram.New(cfg.DRAM); err != nil {
+		return nil, err
+	}
+	for p := PU(0); p < NumPUs; p++ {
+		h.mshr[p] = cache.NewMSHR(cfg.MSHRsPerPU)
+	}
+	h.scratch = cache.NewScratchpad("gpu.sw", cfg.SWCacheBytes)
+	if cfg.Coherence == CoherenceDirectory {
+		h.dir, err = coherence.NewDirectory(uint64(h.lineBytes), int(NumPUs))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// MustNew is New but panics on configuration error.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a snapshot of the hierarchy counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Scratchpad returns the GPU's software-managed cache.
+func (h *Hierarchy) Scratchpad() *cache.Scratchpad { return h.scratch }
+
+// DRAM returns the memory controller, for direct DMA-style transfers.
+func (h *Hierarchy) DRAM() *dram.Controller { return h.dram }
+
+// Ring returns the interconnect, for reporting.
+func (h *Hierarchy) Ring() *noc.Ring { return h.ring }
+
+// tileFor returns the L3 tile index serving addr (line interleaved).
+func (h *Hierarchy) tileFor(addr uint64) int {
+	return int(addr/uint64(h.lineBytes)) % h.cfg.L3Tiles
+}
+
+func (h *Hierarchy) puStop(pu PU) int {
+	if pu == CPU {
+		return h.cfg.cpuStop()
+	}
+	return h.cfg.gpuStop()
+}
+
+// Access times a single load or store by pu to addr, starting at now, and
+// returns its completion time. Write-allocate, write-back at every level.
+func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock.Time {
+	h.stats.Accesses[pu]++
+	switch pu {
+	case CPU:
+		t := now.Add(h.cfg.CPUL1DLat)
+		if h.cpuL1d.Lookup(addr, write) {
+			h.stats.L1Hits[CPU]++
+			if write {
+				t = h.coherenceFee(CPU, addr, true, t)
+			}
+			return t
+		}
+		t = t.Add(h.cfg.CPUL2Lat)
+		if h.cpuL2.Lookup(addr, write) {
+			h.stats.L2Hits++
+			h.fillInto(h.cpuL1d, addr, write)
+			return t
+		}
+		return h.sharedAccess(CPU, addr, write, t)
+	case GPU:
+		t := now.Add(h.cfg.GPUL1DLat)
+		if h.gpuL1d.Lookup(addr, write) {
+			h.stats.L1Hits[GPU]++
+			if write {
+				t = h.coherenceFee(GPU, addr, true, t)
+			}
+			return t
+		}
+		return h.sharedAccess(GPU, addr, write, t)
+	default:
+		panic(fmt.Sprintf("mem: access from unknown PU %d", pu))
+	}
+}
+
+// sharedAccess handles a first-level-miss access from pu beginning its L3
+// request at time t (private levels already charged).
+func (h *Hierarchy) sharedAccess(pu PU, addr uint64, write bool, t clock.Time) clock.Time {
+	line := addr &^ uint64(h.lineBytes-1)
+	if ready, ok := h.mshr[pu].Outstanding(line, t); ok {
+		// A miss to this line is already in flight; this access completes
+		// with it (the fill also populated the private levels).
+		return clock.Max(ready, t)
+	}
+
+	tile := h.tileFor(addr)
+	src := h.puStop(pu)
+	l3s := h.cfg.l3Stop(tile)
+
+	// Request message to the L3 tile, then the tile lookup. The home
+	// tile consults the coherence directory before serving data.
+	at := h.ring.Send(src, l3s, h.reqBytes, t)
+	at = at.Add(h.cfg.L3Lat)
+	at = h.coherenceFee(pu, addr, write, at)
+	if h.l3[tile].Lookup(addr, write) {
+		h.stats.L3Hits[pu]++
+		done := h.ring.Send(l3s, src, h.lineBytes+h.reqBytes, at)
+		h.fillPrivate(pu, addr, write)
+		return h.mshr[pu].Allocate(line, t, done)
+	}
+
+	// L3 miss: forward to the memory controller stop, access DRAM, and
+	// return the line to the requester.
+	at = h.ring.Send(l3s, h.cfg.mcStop(), h.reqBytes, at)
+	at = h.dram.Submit(addr, at)
+	h.stats.DRAMFills[pu]++
+	at = h.ring.Send(h.cfg.mcStop(), l3s, h.lineBytes+h.reqBytes, at)
+	h.fillL3(tile, addr, false, write, at)
+	done := h.ring.Send(l3s, src, h.lineBytes+h.reqBytes, at)
+	h.fillPrivate(pu, addr, write)
+	return h.mshr[pu].Allocate(line, t, done)
+}
+
+// fillPrivate installs the line into pu's private levels, notifying the
+// directory when a line leaves the PU's domain entirely.
+func (h *Hierarchy) fillPrivate(pu PU, addr uint64, write bool) {
+	if pu == CPU {
+		ev := h.cpuL2.Fill(addr, false, false)
+		h.noteEviction(CPU, ev, h.cpuL1d)
+		h.fillInto(h.cpuL1d, addr, write)
+		return
+	}
+	ev := h.gpuL1d.Fill(addr, false, write)
+	h.noteEviction(GPU, ev, nil)
+}
+
+// noteEviction counts a private eviction and drops the line from the
+// directory if no other cache of the same PU still holds it.
+func (h *Hierarchy) noteEviction(pu PU, ev cache.Eviction, alsoHolds *cache.Cache) {
+	if !ev.Valid {
+		return
+	}
+	if ev.Dirty {
+		h.stats.Writebacks++
+	}
+	if h.dir == nil {
+		return
+	}
+	if alsoHolds != nil && alsoHolds.Probe(ev.Addr) {
+		return
+	}
+	h.dir.Evict(int(pu), ev.Addr)
+}
+
+// coherenceFee prices the directory work an access requires: remote
+// copies are invalidated (and dirty ones written back) over the ring
+// before the access may complete. Free when the directory is off or the
+// access needs no remote work.
+func (h *Hierarchy) coherenceFee(pu PU, addr uint64, write bool, t clock.Time) clock.Time {
+	if h.dir == nil {
+		return t
+	}
+	act := h.dir.Access(int(pu), addr, write)
+	if act.Messages == 0 {
+		return t
+	}
+	h.stats.CoherenceOps++
+	other := CPU
+	if pu == CPU {
+		other = GPU
+	}
+	line := addr &^ uint64(h.lineBytes-1)
+	if other == CPU {
+		h.cpuL1d.Invalidate(line)
+		h.cpuL2.Invalidate(line)
+	} else {
+		h.gpuL1d.Invalidate(line)
+	}
+	// One round trip from the home tile to the remote PU: the
+	// invalidate/forward out, the ack (plus data for a writeback) back.
+	tile := h.tileFor(addr)
+	l3s := h.cfg.l3Stop(tile)
+	t = h.ring.Send(l3s, h.puStop(other), h.reqBytes, t)
+	resp := h.reqBytes
+	if act.Writeback {
+		resp += h.lineBytes
+	}
+	return h.ring.Send(h.puStop(other), l3s, resp, t)
+}
+
+// Directory returns the coherence directory, or nil when coherence is
+// off.
+func (h *Hierarchy) Directory() *coherence.Directory { return h.dir }
+
+// fillInto fills a private cache, absorbing the eviction (private-level
+// writebacks land in the level below, whose traffic the shared path
+// already dominates; we count them only).
+func (h *Hierarchy) fillInto(c *cache.Cache, addr uint64, dirty bool) {
+	ev := c.Fill(addr, false, dirty)
+	if ev.Valid && ev.Dirty {
+		h.stats.Writebacks++
+	}
+}
+
+// fillL3 installs a line into its L3 tile; a dirty victim is written back
+// to DRAM, occupying the controller but off the critical path.
+func (h *Hierarchy) fillL3(tile int, addr uint64, explicit, dirty bool, now clock.Time) {
+	ev := h.l3[tile].Fill(addr, explicit, dirty)
+	if ev.Valid && ev.Dirty {
+		h.stats.Writebacks++
+		h.dram.Submit(ev.Addr, now)
+	}
+}
+
+// Push explicitly places the size-byte object at addr into the target
+// level for pu, line by line, and returns the completion time. This is
+// the hardware side of the paper's push(x, level) locality-control
+// statement: data moves into the designated cache with its locality bit
+// set so implicit traffic cannot evict it (Section II-B5).
+func (h *Hierarchy) Push(pu PU, addr uint64, size uint32, level Level, now clock.Time) clock.Time {
+	h.stats.Pushes++
+	h.stats.PushBytes += uint64(size)
+	if size == 0 {
+		return now
+	}
+	switch level {
+	case LevelSoftware:
+		// Software-managed cache: one DMA-style burst from the shared
+		// hierarchy into the scratchpad.
+		if err := h.scratch.Place(addr, uint64(size)); err != nil {
+			// Capacity exceeded is a program (trace) error; treat as a
+			// refresh of the whole scratchpad.
+			h.scratch.Clear()
+			_ = h.scratch.Place(addr, uint64(size))
+		}
+		t := now
+		for line := addr &^ uint64(h.lineBytes-1); line < addr+uint64(size); line += uint64(h.lineBytes) {
+			t = h.Access(GPU, line, false, t)
+		}
+		return t
+	case LevelShared:
+		// Move each line into its L3 tile over the ring, marked explicit.
+		t := now
+		src := h.puStop(pu)
+		for line := addr &^ uint64(h.lineBytes-1); line < addr+uint64(size); line += uint64(h.lineBytes) {
+			tile := h.tileFor(line)
+			at := h.ring.Send(src, h.cfg.l3Stop(tile), h.lineBytes+h.reqBytes, t)
+			at = at.Add(h.cfg.L3Lat)
+			h.fillL3(tile, line, true, true, at)
+			t = at
+		}
+		return t
+	case LevelPrivate:
+		// Prefetch into the PU's first-level cache through the normal path.
+		t := now
+		for line := addr &^ uint64(h.lineBytes-1); line < addr+uint64(size); line += uint64(h.lineBytes) {
+			t = h.Access(pu, line, false, t)
+		}
+		return t
+	default:
+		panic(fmt.Sprintf("mem: push to unknown level %d", level))
+	}
+}
+
+// FlushPrivate writes back and invalidates pu's private caches (used at
+// ownership-transfer points) and returns the number of dirty lines
+// written back.
+func (h *Hierarchy) FlushPrivate(pu PU) int {
+	if pu == CPU {
+		return h.cpuL1d.FlushAll() + h.cpuL2.FlushAll()
+	}
+	h.scratch.Clear()
+	return h.gpuL1d.FlushAll()
+}
+
+// CacheStats returns per-cache statistics keyed by cache name.
+func (h *Hierarchy) CacheStats() map[string]cache.Stats {
+	out := map[string]cache.Stats{
+		h.cfg.CPUL1D.Name: h.cpuL1d.Stats(),
+		h.cfg.CPUL2.Name:  h.cpuL2.Stats(),
+		h.cfg.GPUL1D.Name: h.gpuL1d.Stats(),
+	}
+	for i, t := range h.l3 {
+		out[fmt.Sprintf("l3.t%d", i)] = t.Stats()
+	}
+	return out
+}

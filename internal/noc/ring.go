@@ -1,0 +1,154 @@
+// Package noc models the on-chip interconnect of Table II: a
+// bidirectional ring bus connecting the processing units, the shared
+// last-level cache tiles, and the memory controllers.
+//
+// Messages use wormhole-style timing: the header pays one hop latency per
+// link along the shorter ring direction, the body serialises onto each
+// link at the link width, and links are shared resources so concurrent
+// messages contend.
+package noc
+
+import (
+	"fmt"
+
+	"heteromem/internal/clock"
+)
+
+// Config describes the ring geometry and timing.
+type Config struct {
+	// Stops is the number of ring stops. Must be at least 2.
+	Stops int
+	// HopLatency is the header latency per link traversed.
+	HopLatency clock.Duration
+	// LinkBytesPerCycle is the link width in bytes per link cycle.
+	LinkBytesPerCycle int
+	// CycleTime is the ring clock period.
+	CycleTime clock.Duration
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Stops < 2:
+		return fmt.Errorf("noc: ring needs at least 2 stops, got %d", c.Stops)
+	case c.HopLatency == 0:
+		return fmt.Errorf("noc: zero hop latency")
+	case c.LinkBytesPerCycle <= 0:
+		return fmt.Errorf("noc: link width %d must be positive", c.LinkBytesPerCycle)
+	case c.CycleTime == 0:
+		return fmt.Errorf("noc: zero cycle time")
+	}
+	return nil
+}
+
+// Stats counts interconnect traffic.
+type Stats struct {
+	Messages  uint64
+	TotalHops uint64
+	Bytes     uint64
+}
+
+// Ring is a bidirectional ring interconnect.
+type Ring struct {
+	cfg Config
+	// cw[i] is the clockwise link from stop i to stop (i+1)%n;
+	// ccw[i] is the counter-clockwise link from stop (i+1)%n to stop i.
+	cw    []*clock.Resource
+	ccw   []*clock.Resource
+	stats Stats
+}
+
+// New returns a ring with idle links.
+func New(cfg Config) (*Ring, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Ring{cfg: cfg}
+	r.cw = make([]*clock.Resource, cfg.Stops)
+	r.ccw = make([]*clock.Resource, cfg.Stops)
+	for i := 0; i < cfg.Stops; i++ {
+		r.cw[i] = clock.NewResource(fmt.Sprintf("ring.cw%d", i))
+		r.ccw[i] = clock.NewResource(fmt.Sprintf("ring.ccw%d", i))
+	}
+	return r, nil
+}
+
+// MustNew is New but panics on configuration error.
+func MustNew(cfg Config) *Ring {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Config returns the ring's configuration.
+func (r *Ring) Config() Config { return r.cfg }
+
+// Stats returns a snapshot of the counters.
+func (r *Ring) Stats() Stats { return r.stats }
+
+// Hops returns the number of links a message from one stop to the other
+// traverses, taking the shorter direction (ties go clockwise).
+func (r *Ring) Hops(from, to int) int {
+	n := r.cfg.Stops
+	cw := ((to-from)%n + n) % n
+	ccw := n - cw
+	if cw <= ccw {
+		return cw
+	}
+	return ccw
+}
+
+// Send transmits a bytes-sized message from stop from to stop to,
+// starting no earlier than now, and returns the time the full message has
+// arrived. A message to the sender's own stop arrives immediately.
+func (r *Ring) Send(from, to, bytes int, now clock.Time) clock.Time {
+	if from < 0 || from >= r.cfg.Stops || to < 0 || to >= r.cfg.Stops {
+		panic(fmt.Sprintf("noc: stop out of range: %d -> %d (ring has %d)", from, to, r.cfg.Stops))
+	}
+	if from == to {
+		return now
+	}
+	n := r.cfg.Stops
+	cwHops := ((to-from)%n + n) % n
+	clockwise := cwHops <= n-cwHops
+	hops := cwHops
+	if !clockwise {
+		hops = n - cwHops
+	}
+
+	cycles := (bytes + r.cfg.LinkBytesPerCycle - 1) / r.cfg.LinkBytesPerCycle
+	if cycles == 0 {
+		cycles = 1 // even a zero-payload control message takes a flit
+	}
+	ser := clock.Duration(uint64(cycles)) * r.cfg.CycleTime
+
+	t := now
+	stop := from
+	for h := 0; h < hops; h++ {
+		var link *clock.Resource
+		if clockwise {
+			link = r.cw[stop]
+			stop = (stop + 1) % n
+		} else {
+			prev := (stop - 1 + n) % n
+			link = r.ccw[prev]
+			stop = prev
+		}
+		start, _ := link.Acquire(t, ser)
+		t = start.Add(r.cfg.HopLatency)
+	}
+	r.stats.Messages++
+	r.stats.TotalHops += uint64(hops)
+	r.stats.Bytes += uint64(bytes)
+	return t.Add(ser)
+}
+
+// Reset idles all links and clears statistics.
+func (r *Ring) Reset() {
+	for i := range r.cw {
+		r.cw[i].Reset()
+		r.ccw[i].Reset()
+	}
+	r.stats = Stats{}
+}

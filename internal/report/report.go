@@ -1,0 +1,135 @@
+// Package report renders experiment results as aligned ASCII tables and
+// text bar charts, shared by the command-line tools, the benchmark
+// harness and the examples.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"heteromem/internal/clock"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for i, w := range widths {
+			if i > 0 {
+				total += 2
+			}
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders a horizontal bar of the given fractional length (0..1)
+// over width characters using '#'.
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// StackedBar renders segments (fractions of the full width, summing to
+// <=1) with one rune per segment class, e.g. 's', 'p', 'c' for the
+// Figure 5 breakdown.
+func StackedBar(fracs []float64, runes []rune, width int) string {
+	var b strings.Builder
+	used := 0
+	for i, f := range fracs {
+		n := int(f*float64(width) + 0.5)
+		if used+n > width {
+			n = width - used
+		}
+		b.WriteString(strings.Repeat(string(runes[i%len(runes)]), n))
+		used += n
+	}
+	if used < width {
+		b.WriteString(strings.Repeat(".", width-used))
+	}
+	return b.String()
+}
+
+// Dur formats a simulated duration for table cells.
+func Dur(d clock.Duration) string { return d.String() }
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// F3 formats a float with three decimals.
+func F3(f float64) string { return fmt.Sprintf("%.3f", f) }

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"heteromem/internal/clock"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := Table{
+		Title:   "T",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("a", 1)
+	tbl.AddRow("longer-name", 22)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "name") {
+		t.Errorf("header line %q", lines[2])
+	}
+	// Both data rows have the value column starting at the same offset.
+	iA := strings.Index(lines[4], "1")
+	iB := strings.Index(lines[5], "22")
+	if iA != iB {
+		t.Errorf("columns misaligned: %d vs %d\n%s", iA, iB, out)
+	}
+}
+
+func TestTableNoTitleNoHeaders(t *testing.T) {
+	tbl := Table{}
+	tbl.AddRow("x")
+	out := tbl.String()
+	if strings.Contains(out, "=") || strings.Contains(out, "-") {
+		t.Errorf("decorations on bare table:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Errorf("Bar(0.5,10) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "...." {
+		t.Errorf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 4); got != "####" {
+		t.Errorf("Bar(2) = %q", got)
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	got := StackedBar([]float64{0.25, 0.5, 0.25}, []rune{'s', 'p', 'c'}, 8)
+	if got != "sspppPcc" && got != "ssppppcc" {
+		// rounding may shift one cell; require length and order.
+		if len(got) != 8 {
+			t.Fatalf("StackedBar length %d: %q", len(got), got)
+		}
+	}
+	if strings.IndexByte(got, 's') > strings.IndexByte(got, 'p') {
+		t.Errorf("segment order wrong: %q", got)
+	}
+	// Over-full input clamps to width.
+	got = StackedBar([]float64{0.8, 0.8}, []rune{'a', 'b'}, 10)
+	if len(got) != 10 {
+		t.Errorf("over-full bar length %d", len(got))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.125) != "12.5%" {
+		t.Errorf("Pct = %q", Pct(0.125))
+	}
+	if F3(1.0/3) != "0.333" {
+		t.Errorf("F3 = %q", F3(1.0/3))
+	}
+	if Dur(1500*clock.Nanosecond) != "1.500us" {
+		t.Errorf("Dur = %q", Dur(1500*clock.Nanosecond))
+	}
+}

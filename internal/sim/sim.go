@@ -1,0 +1,478 @@
+// Package sim is the top-level simulator: it binds a system configuration
+// (address-space model + communication fabric + programming-model
+// behaviours) to the baseline cores and memory hierarchy, executes a
+// workload phase program, and splits execution time into the paper's
+// three categories — sequential, parallel and communication (Figure 5).
+package sim
+
+import (
+	"fmt"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/clock"
+	"heteromem/internal/comm"
+	"heteromem/internal/config"
+	"heteromem/internal/cpu"
+	"heteromem/internal/dram"
+	"heteromem/internal/gpu"
+	"heteromem/internal/isa"
+	"heteromem/internal/locality"
+	"heteromem/internal/mem"
+	"heteromem/internal/noc"
+	"heteromem/internal/systems"
+	"heteromem/internal/trace"
+	"heteromem/internal/workload"
+)
+
+// Result is the outcome of running one kernel on one system.
+type Result struct {
+	System string
+	Kernel string
+
+	// The Figure 5 breakdown. Total = Sequential + Parallel + Communication.
+	Sequential    clock.Duration
+	Parallel      clock.Duration
+	Communication clock.Duration
+
+	CPU    cpu.Stats
+	GPU    gpu.Stats
+	Mem    mem.Stats
+	Fabric comm.Stats
+	// FabricName identifies the communication mechanism the run used
+	// (pcie, pcie-async, pci-aperture, memctrl, ideal).
+	FabricName string
+	Space      addrspace.Stats
+	Ring       noc.Stats
+	DRAM       dram.Stats
+
+	// PageFaults counts lib-pf events (LRB first-touch).
+	PageFaults int
+	// OwnershipOps counts injected acquire/release actions.
+	OwnershipOps int
+}
+
+// Total returns the end-to-end execution time.
+func (r Result) Total() clock.Duration {
+	return r.Sequential + r.Parallel + r.Communication
+}
+
+// CommFraction returns communication time as a fraction of the total.
+func (r Result) CommFraction() float64 {
+	t := r.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Communication) / float64(t)
+}
+
+// Normalized returns (seq, par, comm) as fractions of base's total, the
+// form Figure 5 plots.
+func (r Result) Normalized(base Result) (seq, par, com float64) {
+	t := float64(base.Total())
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(r.Sequential) / t, float64(r.Parallel) / t, float64(r.Communication) / t
+}
+
+// Options tweak a simulator away from the baseline, for ablations.
+type Options struct {
+	// Hierarchy overrides the Table II memory configuration.
+	Hierarchy *mem.Config
+	// DisableCoalescing issues one GPU memory request per SIMD lane.
+	DisableCoalescing bool
+	// Locality applies an explicit locality-management scheme: the push
+	// instructions the scheme requires for the program's objects are
+	// injected ahead of execution (Section II-B / V-D). Nil runs fully
+	// implicit management.
+	Locality *locality.Scheme
+}
+
+// Simulator runs kernels on one system configuration. A Simulator is
+// stateful across phases of a run (caches stay warm, first-touch state
+// persists); create a fresh one per (system, kernel) measurement.
+type Simulator struct {
+	sys     systems.System
+	hier    *mem.Hierarchy
+	cpuCore *cpu.Core
+	gpuCore *gpu.Core
+	fabric  comm.Fabric
+	space   *addrspace.Space
+
+	// sharedHandle is the space object ownership operations act on.
+	sharedHandle addrspace.Object
+	// touchedObjects tracks which transfer targets the GPU has faulted
+	// on already (one lib-pf per shared object: the GPU's large pages
+	// cover a whole object, see DESIGN.md).
+	touchedObjects map[uint64]bool
+	pendingFaults  int
+	pendingAcquire bool
+	// asyncReady is when outstanding asynchronous copies complete.
+	asyncReady clock.Time
+	// scheme is the locality-management scheme to apply, if any.
+	scheme *locality.Scheme
+}
+
+// New returns a simulator for the system with the Table II baseline.
+func New(sys systems.System) (*Simulator, error) {
+	return NewWithOptions(sys, Options{})
+}
+
+// NewWithOptions returns a simulator with ablation options applied.
+func NewWithOptions(sys systems.System, opts Options) (*Simulator, error) {
+	memCfg := mem.TableII()
+	if opts.Hierarchy != nil {
+		memCfg = *opts.Hierarchy
+	}
+	hier, err := mem.New(memCfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	space, err := addrspace.New(sys.Model, 4096)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s := &Simulator{
+		sys:            sys,
+		hier:           hier,
+		fabric:         sys.NewFabric(hier.DRAM()),
+		space:          space,
+		touchedObjects: make(map[uint64]bool),
+	}
+	s.cpuCore = cpu.New(config.BaselineCPU(), hier, sys.Params.Latency)
+	s.gpuCore = gpu.New(config.BaselineGPU(), hier, sys.Params.Latency, memCfg.SWCacheLat)
+	s.gpuCore.Coalesce = !opts.DisableCoalescing
+	if opts.Locality != nil {
+		if err := opts.Locality.Validate(sys.Model); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.scheme = opts.Locality
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on configuration error.
+func MustNew(sys systems.System) *Simulator {
+	s, err := New(sys)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Hierarchy exposes the memory system for inspection.
+func (s *Simulator) Hierarchy() *mem.Hierarchy { return s.hier }
+
+// Space exposes the address space for inspection.
+func (s *Simulator) Space() *addrspace.Space { return s.space }
+
+// allocate registers the program's objects with the address space so the
+// run accounts for the model's page-table maintenance. Regions the model
+// does not provide degrade to the accessing PU's private space, exactly
+// as a programmer would restructure the allocation.
+func (s *Simulator) allocate(p *workload.Program) error {
+	for _, o := range p.Objects {
+		r := o.Region
+		if !s.space.SupportsRegion(r) {
+			if o.User == mem.GPU {
+				r = addrspace.GPUPrivate
+			} else {
+				r = addrspace.CPUPrivate
+			}
+		}
+		obj, err := s.space.Alloc(uint64(o.Size), r)
+		if err != nil {
+			return err
+		}
+		if obj.Region == addrspace.Shared && s.sharedHandle.Size == 0 {
+			s.sharedHandle = obj
+		}
+	}
+	return nil
+}
+
+// Run executes the program and returns its timing breakdown.
+func (s *Simulator) Run(p *workload.Program) (Result, error) {
+	res := Result{System: s.sys.Name, Kernel: p.Name}
+	if err := p.Validate(); err != nil {
+		return res, fmt.Errorf("sim: %w", err)
+	}
+	if err := s.allocate(p); err != nil {
+		return res, fmt.Errorf("sim: allocating %s on %s: %w", p.Name, s.sys.Name, err)
+	}
+	now := clock.Time(0)
+	now = s.applyLocality(p, now, &res)
+	for i, ph := range p.Phases {
+		var err error
+		switch ph.Kind {
+		case workload.Sequential:
+			now = s.runSequential(ph, now, &res)
+		case workload.Parallel:
+			now = s.runParallel(ph, now, &res)
+		case workload.Transfer:
+			now, err = s.runTransfer(ph, now, &res)
+		default:
+			err = fmt.Errorf("sim: unknown phase kind %v", ph.Kind)
+		}
+		if err != nil {
+			return res, fmt.Errorf("sim: %s phase %d on %s: %w", p.Name, i, s.sys.Name, err)
+		}
+	}
+	// Final return synchronisation: outstanding asynchronous copies must
+	// land before the program completes.
+	if s.asyncReady > now {
+		res.Communication += s.asyncReady.Sub(now)
+		now = s.asyncReady
+	}
+	res.Mem = s.hier.Stats()
+	res.Fabric = s.fabric.Stats()
+	res.FabricName = s.fabric.Name()
+	res.Space = s.space.Stats()
+	res.Ring = s.hier.Ring().Stats()
+	res.DRAM = s.hier.DRAM().Stats()
+	return res, nil
+}
+
+// applyLocality injects the scheme's explicit push placements at program
+// start: the paper's Section V-D observation is that locality management
+// changes performance only through these additional instructions.
+func (s *Simulator) applyLocality(p *workload.Program, now clock.Time, res *Result) clock.Time {
+	if s.scheme == nil {
+		return now
+	}
+	var cpuPushes, gpuPushes trace.Stream
+	for _, op := range locality.Plan(*s.scheme, p.Objects) {
+		in := trace.Inst{Kind: isa.Push, Addr: op.Addr, Size: op.Size, PushLevel: op.Level}
+		if op.PU == mem.CPU {
+			cpuPushes = append(cpuPushes, in)
+		} else {
+			gpuPushes = append(gpuPushes, in)
+		}
+	}
+	end := now
+	if len(cpuPushes) > 0 {
+		cEnd, cst := s.cpuCore.Run(cpuPushes, now)
+		addCPUStats(&res.CPU, cst)
+		end = clock.Max(end, cEnd)
+	}
+	if len(gpuPushes) > 0 {
+		gEnd, gst := s.gpuCore.Run(gpuPushes, now)
+		addGPUStats(&res.GPU, gst)
+		end = clock.Max(end, gEnd)
+	}
+	res.Sequential += end.Sub(now)
+	return end
+}
+
+func (s *Simulator) runSequential(ph workload.Phase, now clock.Time, res *Result) clock.Time {
+	end, st := s.cpuCore.Run(ph.CPU, now)
+	res.Sequential += st.Duration - st.CommTime
+	res.Communication += st.CommTime
+	addCPUStats(&res.CPU, st)
+	return end
+}
+
+func (s *Simulator) runParallel(ph workload.Phase, now clock.Time, res *Result) clock.Time {
+	start := now
+	gpuStart := start
+
+	// LRB programming-model events at kernel entry: the GPU acquires
+	// ownership of the shared data, then faults once per freshly shared
+	// object.
+	var prologue trace.Stream
+	if s.pendingAcquire {
+		prologue = append(prologue, trace.Inst{Kind: isa.APIAcquire})
+		s.pendingAcquire = false
+		res.OwnershipOps++
+		if s.sharedHandle.Size != 0 {
+			// Walk the protocol in the address space as well, so space
+			// statistics reflect the handovers.
+			_ = s.space.Acquire(mem.GPU, s.sharedHandle)
+		}
+	}
+	for f := 0; f < s.pendingFaults; f++ {
+		prologue = append(prologue, trace.Inst{Kind: isa.LibPageFault})
+	}
+	res.PageFaults += s.pendingFaults
+	s.pendingFaults = 0
+	if len(prologue) > 0 {
+		end, st := s.gpuCore.Run(prologue, gpuStart)
+		gpuStart = end
+		addGPUStats(&res.GPU, st)
+	}
+
+	// Co-simulate the two halves: repeatedly advance whichever core is
+	// behind in simulated time up to the other's clock, so their traffic
+	// interleaves on the shared hierarchy (ring links, L3 tiles, DRAM) in
+	// time order instead of one core reserving everything first.
+	ge := s.gpuCore.Begin(ph.GPU, gpuStart)
+	ce := s.cpuCore.Begin(ph.CPU, start)
+	const forever = clock.Time(^uint64(0))
+	for !ge.Done() || !ce.Done() {
+		switch {
+		case ge.Done():
+			ce.StepUntil(forever)
+		case ce.Done():
+			ge.StepUntil(forever)
+		case ge.Now() <= ce.Now():
+			ge.StepUntil(ce.Now())
+		default:
+			ce.StepUntil(ge.Now())
+		}
+	}
+	gpuEnd, gst := ge.End()
+	cpuEnd, cst := ce.End()
+	addCPUStats(&res.CPU, cst)
+	addGPUStats(&res.GPU, gst)
+
+	// Communication inside a parallel phase counts only where it is
+	// exposed on the critical path: a GPU-side delay (async-copy wait,
+	// ownership acquire, page faults, in-trace comm ops) that hides under
+	// a longer CPU half costs nothing — that is exactly how GMAC hides
+	// its copies (Section V-A).
+	gpuDelay := gpuStart.Sub(start) + gst.CommTime
+	cpuDelay := cst.CommTime
+	var exposed clock.Duration
+	if gpuEnd > cpuEnd {
+		exposed += minDur(gpuDelay, gpuEnd.Sub(cpuEnd))
+	}
+	if cpuEnd > gpuEnd {
+		exposed += minDur(cpuDelay, cpuEnd.Sub(gpuEnd))
+	}
+
+	end := clock.Max(cpuEnd, gpuEnd)
+	span := end.Sub(start)
+	if span > exposed {
+		res.Parallel += span - exposed
+	}
+	res.Communication += exposed
+	return end
+}
+
+func minDur(a, b clock.Duration) clock.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (s *Simulator) runTransfer(ph workload.Phase, now clock.Time, res *Result) (clock.Time, error) {
+	if ph.Dir == workload.DeviceToHost && s.sys.SkipDeviceToHost {
+		// The result already lives in a space the CPU can address. The
+		// LRB model still hands ownership back to the CPU; GMAC waits for
+		// outstanding copies at its return-synchronisation point.
+		if s.sys.OwnershipOps {
+			if err := s.ownershipToCPU(); err != nil {
+				return now, err
+			}
+			end, st := s.cpuCore.Run(trace.Stream{{Kind: isa.APIAcquire}}, now)
+			res.Communication += end.Sub(now)
+			addCPUStats(&res.CPU, st)
+			res.OwnershipOps++
+			now = end
+		}
+		if s.fabric.Async() {
+			// ADSM return synchronisation (one of GMAC's four fundamental
+			// APIs): the host blocks until outstanding copies land and
+			// pays the synchronisation call itself.
+			sync := s.fabric.Launch()
+			res.Communication += sync
+			now = now.Add(sync)
+		}
+		if s.asyncReady > now {
+			res.Communication += s.asyncReady.Sub(now)
+			now = s.asyncReady
+		}
+		return now, nil
+	}
+
+	// LRB: the CPU releases ownership before the data moves into the
+	// shared space; the GPU acquires at kernel entry (next parallel
+	// phase), and its first touch of each new object faults.
+	if ph.Dir == workload.HostToDevice && s.sys.OwnershipOps {
+		if err := s.ownershipRelease(); err != nil {
+			return now, err
+		}
+		end, st := s.cpuCore.Run(trace.Stream{{Kind: isa.APIRelease}}, now)
+		res.Communication += end.Sub(now)
+		addCPUStats(&res.CPU, st)
+		res.OwnershipOps++
+		now = end
+		s.pendingAcquire = true
+	}
+	if ph.Dir == workload.HostToDevice && s.sys.PageFaultOnFirstTouch && !s.touchedObjects[ph.Addr] {
+		s.touchedObjects[ph.Addr] = true
+		if g := s.sys.FaultGranularityBytes; g > 0 {
+			// One fault per page-sized granule of the freshly shared data.
+			s.pendingFaults += int((ph.Bytes + g - 1) / g)
+		} else {
+			// Large pages cover the whole object: one fault.
+			s.pendingFaults++
+		}
+	}
+
+	if s.fabric.Async() {
+		// The host blocks only for the driver call that enqueues the
+		// copy; the data moves in the background and the GPU consumes it
+		// page by page as it arrives (ADSM's lazy transfer), so only sync
+		// points wait on asyncReady.
+		launch := s.fabric.Launch()
+		res.Communication += launch
+		now = now.Add(launch)
+		done := s.fabric.Transfer(ph.Bytes, now)
+		s.asyncReady = clock.Max(s.asyncReady, done)
+		return now, nil
+	}
+	done := s.fabric.Transfer(ph.Bytes, now)
+	res.Communication += done.Sub(now)
+	return done, nil
+}
+
+// ownershipRelease walks the address-space protocol: the CPU gives up the
+// shared handle so the GPU may take it. Release consistency requires the
+// releasing PU's private caches to be written back and invalidated — the
+// shared space is not kept coherent by hardware (Section II-A3).
+func (s *Simulator) ownershipRelease() error {
+	if s.sharedHandle.Size == 0 {
+		return nil // program has no shared object under this model
+	}
+	s.hier.FlushPrivate(mem.CPU)
+	if owner, ok := s.space.OwnerOf(s.sharedHandle.Base); ok && owner == mem.CPU {
+		return s.space.Release(mem.CPU, s.sharedHandle)
+	}
+	return nil
+}
+
+// ownershipToCPU transfers the shared handle to the CPU at kernel return;
+// the GPU's private caches flush on its release side of the handover.
+func (s *Simulator) ownershipToCPU() error {
+	if s.sharedHandle.Size == 0 {
+		return nil
+	}
+	s.hier.FlushPrivate(mem.GPU)
+	return s.space.Acquire(mem.CPU, s.sharedHandle)
+}
+
+func addCPUStats(dst *cpu.Stats, src cpu.Stats) {
+	dst.Instructions += src.Instructions
+	dst.Branches += src.Branches
+	dst.Mispredicts += src.Mispredicts
+	dst.MemOps += src.MemOps
+	dst.CommOps += src.CommOps
+	dst.PushOps += src.PushOps
+	dst.CommTime += src.CommTime
+	dst.Duration += src.Duration
+}
+
+func addGPUStats(dst *gpu.Stats, src gpu.Stats) {
+	dst.Instructions += src.Instructions
+	dst.Branches += src.Branches
+	dst.MemOps += src.MemOps
+	dst.LineRequests += src.LineRequests
+	dst.SWHits += src.SWHits
+	dst.SWMisses += src.SWMisses
+	dst.CommOps += src.CommOps
+	dst.PushOps += src.PushOps
+	dst.CommTime += src.CommTime
+	dst.Duration += src.Duration
+}

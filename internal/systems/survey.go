@@ -1,0 +1,137 @@
+package systems
+
+// SurveyEntry is one row of Table I: a previously proposed heterogeneous
+// computing system and its memory-system choices. Free-text fields are
+// transcribed from the paper; "-" means not applicable and "" unknown.
+type SurveyEntry struct {
+	Scheme          string
+	AddressSpace    string
+	Connection      string
+	Coherence       string
+	SharedDataUse   string
+	Consistency     string
+	Synchronization string
+	Locality        string
+	// Homogeneous marks the one non-heterogeneous comparison point
+	// (Rigel).
+	Homogeneous bool
+}
+
+// TableI returns the paper's survey of existing heterogeneous computing
+// memory systems (Table I), in row order.
+func TableI() []SurveyEntry {
+	return []SurveyEntry{
+		{
+			Scheme: "CPU+CUDA*", AddressSpace: "disjoint", Connection: "PCI-E",
+			Coherence: "-", SharedDataUse: "NA", Consistency: "weak consistency",
+			Synchronization: "-", Locality: "impl-pri-expl-pri",
+		},
+		{
+			Scheme: "EXOCHI", AddressSpace: "unified", Connection: "Memory controller",
+			Coherence: "can be coherent", SharedDataUse: "CHI runtime API",
+			Consistency: "weak consistency", Synchronization: "unknown", Locality: "impl-pri",
+		},
+		{
+			Scheme: "CPU+LRB", AddressSpace: "partially shared", Connection: "PCI-E",
+			Coherence: "coherent only in LRB/CPU", SharedDataUse: "type qualifier, ownership",
+			Consistency: "weak consistency", Synchronization: "APIs", Locality: "impl-pri",
+		},
+		{
+			Scheme: "COMIC", AddressSpace: "unified", Connection: "interconnection",
+			Coherence: "directory", SharedDataUse: "COMIC API functions",
+			Consistency: "centralized release consistency", Synchronization: "barrier function",
+			Locality: "expl-pri-impl-pri-impl-shared",
+		},
+		{
+			Scheme: "Rigel", AddressSpace: "unified", Connection: "interconnection",
+			Coherence: "HW/SW", SharedDataUse: "global memory operation",
+			Consistency: "weak consistency", Synchronization: "implicit barrier/Rigel LPI",
+			Locality: "expl", Homogeneous: true,
+		},
+		{
+			Scheme: "GMAC", AddressSpace: "ADSM", Connection: "PCI-E",
+			Coherence: "GMAC protocol", SharedDataUse: "global memory operation",
+			Consistency: "weak consistency", Synchronization: "sync API",
+			Locality: "expl-private-impl-shared",
+		},
+		{
+			Scheme: "Sandy Bridge", AddressSpace: "disjoint", Connection: "Memory controller",
+			Coherence: "-", SharedDataUse: "-", Consistency: "weak consistency",
+			Synchronization: "-", Locality: "impl-priv-exp-priv",
+		},
+		{
+			Scheme: "Fusion", AddressSpace: "disjoint", Connection: "Memory controller",
+			Coherence: "-", SharedDataUse: "-", Consistency: "-", Synchronization: "-", Locality: "-",
+		},
+		{
+			Scheme: "IBM Cell", AddressSpace: "disjoint", Connection: "interconnection",
+			Coherence: "-", SharedDataUse: "-", Consistency: "weak consistency",
+			Synchronization: "-", Locality: "expl-pri-impl-priv-impl-shared",
+		},
+		{
+			Scheme: "Xbox 360", AddressSpace: "disjoint", Connection: "cache/FSB",
+			Coherence: "-", SharedDataUse: "Lock-set cache, copy",
+			Consistency: "-", Synchronization: "-", Locality: "impl-priv-exp-shared",
+		},
+		{
+			Scheme: "CUBA", AddressSpace: "disjoint", Connection: "BUS",
+			Coherence: "-", SharedDataUse: "direct access to local storage",
+			Consistency: "weak consistency", Synchronization: "-", Locality: "exp-priv",
+		},
+		{
+			Scheme: "CUDA 4.0", AddressSpace: "unified", Connection: "-",
+			Coherence: "-", SharedDataUse: "explicit copy",
+			Consistency: "weak consistency", Synchronization: "-", Locality: "exp-priv",
+		},
+		{
+			Scheme: "OpenCL", AddressSpace: "unified", Connection: "-",
+			Coherence: "-", SharedDataUse: "explicit copy",
+			Consistency: "weak consistency", Synchronization: "-", Locality: "exp-priv",
+		},
+	}
+}
+
+// ByAddressSpace groups the survey rows by their address-space label.
+func ByAddressSpace() map[string][]SurveyEntry {
+	out := make(map[string][]SurveyEntry)
+	for _, e := range TableI() {
+		out[e.AddressSpace] = append(out[e.AddressSpace], e)
+	}
+	return out
+}
+
+// SurveyFindings returns the summary observations of Section III that a
+// reader should be able to recompute from the table.
+type SurveyFindings struct {
+	Total                int
+	Disjoint             int
+	Unified              int
+	PartiallyShared      int
+	ADSM                 int
+	FullyCoherentUnified int
+}
+
+// Findings recomputes Section III's observations from Table I: most
+// systems are disjoint, and none is a unified, fully-coherent,
+// strongly-consistent system.
+func Findings() SurveyFindings {
+	var f SurveyFindings
+	for _, e := range TableI() {
+		f.Total++
+		switch e.AddressSpace {
+		case "disjoint":
+			f.Disjoint++
+		case "unified":
+			f.Unified++
+		case "partially shared":
+			f.PartiallyShared++
+		case "ADSM":
+			f.ADSM++
+		}
+		if e.AddressSpace == "unified" && e.Coherence != "-" && e.Coherence != "" &&
+			e.Consistency == "strong consistency" {
+			f.FullyCoherentUnified++
+		}
+	}
+	return f
+}

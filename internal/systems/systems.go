@@ -1,0 +1,193 @@
+// Package systems defines the five heterogeneous computing systems the
+// paper evaluates in Section V-A — CPU+GPU(CUDA), LRB, GMAC, Fusion and
+// IDEAL-HETERO — as combinations of an address-space model, a hardware
+// communication fabric, and programming-model behaviours (ownership
+// operations, first-touch page faults, asynchronous copies). It also
+// holds the Table I survey of previously proposed heterogeneous memory
+// systems.
+package systems
+
+import (
+	"fmt"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/comm"
+	"heteromem/internal/config"
+	"heteromem/internal/dram"
+)
+
+// FabricKind names a hardware communication mechanism.
+type FabricKind uint8
+
+const (
+	// FabricPCIe is synchronous PCI-E 2.0 copying (CPU+GPU/CUDA).
+	FabricPCIe FabricKind = iota
+	// FabricPCIeAsync is PCI-E with runtime-managed asynchronous copies
+	// (GMAC).
+	FabricPCIeAsync
+	// FabricAperture is the LRB PCI aperture.
+	FabricAperture
+	// FabricMemCtrl is DMA through the shared memory controllers (Fusion).
+	FabricMemCtrl
+	// FabricIdeal is free communication (IDEAL-HETERO).
+	FabricIdeal
+)
+
+func (f FabricKind) String() string {
+	switch f {
+	case FabricPCIe:
+		return "pcie"
+	case FabricPCIeAsync:
+		return "pcie-async"
+	case FabricAperture:
+		return "pci-aperture"
+	case FabricMemCtrl:
+		return "memctrl"
+	case FabricIdeal:
+		return "ideal"
+	default:
+		return fmt.Sprintf("fabric(%d)", uint8(f))
+	}
+}
+
+// System is one evaluated heterogeneous system configuration. All five
+// case studies share the same CPUs, GPUs and cache hierarchy (the paper
+// isolates memory-system effects); they differ only in the fields here.
+type System struct {
+	// Name is the paper's label for the configuration.
+	Name string
+	// Model is the memory address space design option.
+	Model addrspace.Model
+	// Fabric is the hardware communication mechanism.
+	Fabric FabricKind
+	// Params prices the special communication instructions (Table IV).
+	Params config.CommParams
+	// OwnershipOps injects api-acq ownership acquire/release actions
+	// around transfers (the LRB programming model).
+	OwnershipOps bool
+	// PageFaultOnFirstTouch charges lib-pf when the GPU first touches a
+	// freshly shared object (LRB).
+	PageFaultOnFirstTouch bool
+	// FaultGranularityBytes sets the page size behind first-touch faults:
+	// one lib-pf per granule of freshly shared data. Zero means one fault
+	// per shared object — the GPU's large pages cover whole objects, the
+	// paper's Section II-A1 page-size option. Small granularities model a
+	// GPU stuck with host-sized pages.
+	FaultGranularityBytes uint64
+	// SkipDeviceToHost elides device-to-host copies because the result
+	// already lives in a space the CPU can address (LRB's shared space,
+	// GMAC's ADSM region).
+	SkipDeviceToHost bool
+}
+
+// NewFabric instantiates the system's fabric. The memory-controller
+// fabric needs a DRAM controller to generate its accesses on; other
+// fabrics ignore ctrl.
+func (s System) NewFabric(ctrl *dram.Controller) comm.Fabric {
+	switch s.Fabric {
+	case FabricPCIe:
+		return comm.NewPCIe(s.Params, false)
+	case FabricPCIeAsync:
+		return comm.NewPCIe(s.Params, true)
+	case FabricAperture:
+		return comm.NewAperture(s.Params)
+	case FabricMemCtrl:
+		return comm.NewMemController(ctrl)
+	case FabricIdeal:
+		return comm.NewIdeal()
+	default:
+		panic(fmt.Sprintf("systems: unknown fabric %d", s.Fabric))
+	}
+}
+
+// CPUGPU returns the CPU+GPU(CUDA) configuration: disjoint memory spaces
+// connected with PCI-E; every data exchange is an explicit api-pci copy,
+// including transferring results back to the host.
+func CPUGPU() System {
+	return System{
+		Name:   "CPU+GPU",
+		Model:  addrspace.Disjoint,
+		Fabric: FabricPCIe,
+		Params: config.TableIV(),
+	}
+}
+
+// LRB returns the LRB configuration: partially shared address space over
+// the PCI aperture, with ownership acquire/release, api-tr transfers into
+// the shared space, first-touch page faults, and no copy-back (results
+// stay in the shared space).
+func LRB() System {
+	return System{
+		Name:                  "LRB",
+		Model:                 addrspace.PartiallyShared,
+		Fabric:                FabricAperture,
+		Params:                config.TableIV(),
+		OwnershipOps:          true,
+		PageFaultOnFirstTouch: true,
+		SkipDeviceToHost:      true,
+	}
+}
+
+// GMAC returns the GMAC configuration: ADSM over PCI-E with asynchronous
+// copies the runtime overlaps with computation, and no copy-back (the
+// CPU addresses the shared space directly).
+func GMAC() System {
+	return System{
+		Name:             "GMAC",
+		Model:            addrspace.ADSM,
+		Fabric:           FabricPCIeAsync,
+		Params:           config.TableIV(),
+		SkipDeviceToHost: true,
+	}
+}
+
+// Fusion returns the Fusion configuration: disjoint memory spaces whose
+// transfers run through the shared memory controllers as ordinary memory
+// accesses.
+func Fusion() System {
+	return System{
+		Name:   "Fusion",
+		Model:  addrspace.Disjoint,
+		Fabric: FabricMemCtrl,
+		Params: config.TableIV(),
+	}
+}
+
+// IdealHetero returns IDEAL-HETERO: a unified, fully coherent system with
+// free communication.
+func IdealHetero() System {
+	return System{
+		Name:   "IDEAL-HETERO",
+		Model:  addrspace.Unified,
+		Fabric: FabricIdeal,
+		Params: config.Ideal(),
+	}
+}
+
+// CaseStudies returns the five systems of Figure 5 in the paper's order.
+func CaseStudies() []System {
+	return []System{CPUGPU(), LRB(), GMAC(), Fusion(), IdealHetero()}
+}
+
+// ForModel returns a system exercising the given address-space model with
+// ideal communication and a shared cache — the Figure 7 configuration
+// that isolates pure address-space effects.
+func ForModel(m addrspace.Model) System {
+	s := System{
+		Name:   fmt.Sprintf("ideal-%s", m),
+		Model:  m,
+		Fabric: FabricIdeal,
+		Params: config.Ideal(),
+	}
+	if m == addrspace.PartiallyShared {
+		// The model's semantics keep ownership operations (they are part
+		// of the programming model, not the hardware), but under ideal
+		// parameters they cost nothing.
+		s.OwnershipOps = true
+		s.SkipDeviceToHost = true
+	}
+	if m == addrspace.ADSM {
+		s.SkipDeviceToHost = true
+	}
+	return s
+}

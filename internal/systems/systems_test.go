@@ -1,0 +1,149 @@
+package systems
+
+import (
+	"testing"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/dram"
+)
+
+func TestCaseStudiesComposition(t *testing.T) {
+	cs := CaseStudies()
+	if len(cs) != 5 {
+		t.Fatalf("case studies = %d, want 5", len(cs))
+	}
+	want := []struct {
+		name   string
+		model  addrspace.Model
+		fabric FabricKind
+	}{
+		{"CPU+GPU", addrspace.Disjoint, FabricPCIe},
+		{"LRB", addrspace.PartiallyShared, FabricAperture},
+		{"GMAC", addrspace.ADSM, FabricPCIeAsync},
+		{"Fusion", addrspace.Disjoint, FabricMemCtrl},
+		{"IDEAL-HETERO", addrspace.Unified, FabricIdeal},
+	}
+	for i, w := range want {
+		s := cs[i]
+		if s.Name != w.name || s.Model != w.model || s.Fabric != w.fabric {
+			t.Errorf("case study %d = %s/%v/%v, want %s/%v/%v",
+				i, s.Name, s.Model, s.Fabric, w.name, w.model, w.fabric)
+		}
+	}
+}
+
+func TestSystemBehaviourFlags(t *testing.T) {
+	lrb := LRB()
+	if !lrb.OwnershipOps || !lrb.PageFaultOnFirstTouch || !lrb.SkipDeviceToHost {
+		t.Errorf("LRB flags wrong: %+v", lrb)
+	}
+	gmac := GMAC()
+	if gmac.OwnershipOps || gmac.PageFaultOnFirstTouch || !gmac.SkipDeviceToHost {
+		t.Errorf("GMAC flags wrong: %+v", gmac)
+	}
+	cuda := CPUGPU()
+	if cuda.OwnershipOps || cuda.SkipDeviceToHost {
+		t.Errorf("CPU+GPU flags wrong: %+v", cuda)
+	}
+	ideal := IdealHetero()
+	if !ideal.Params.IsIdeal() {
+		t.Error("IDEAL-HETERO has non-ideal params")
+	}
+}
+
+func TestNewFabricKinds(t *testing.T) {
+	ctrl := dram.MustNew(dram.DDR3_1333())
+	for _, s := range CaseStudies() {
+		f := s.NewFabric(ctrl)
+		if f == nil {
+			t.Fatalf("%s: nil fabric", s.Name)
+		}
+		if s.Fabric == FabricPCIeAsync && !f.Async() {
+			t.Errorf("%s: async fabric not async", s.Name)
+		}
+		if s.Fabric != FabricPCIeAsync && f.Async() {
+			t.Errorf("%s: sync fabric reports async", s.Name)
+		}
+	}
+}
+
+func TestForModel(t *testing.T) {
+	for _, m := range addrspace.AllModels() {
+		s := ForModel(m)
+		if s.Model != m {
+			t.Errorf("ForModel(%v).Model = %v", m, s.Model)
+		}
+		if !s.Params.IsIdeal() || s.Fabric != FabricIdeal {
+			t.Errorf("ForModel(%v) not ideal", m)
+		}
+	}
+	if !ForModel(addrspace.PartiallyShared).OwnershipOps {
+		t.Error("PAS semantics should keep ownership ops")
+	}
+	if ForModel(addrspace.Unified).OwnershipOps {
+		t.Error("unified should not have ownership ops")
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 13 {
+		t.Fatalf("Table I rows = %d, want 13", len(rows))
+	}
+	for _, e := range rows {
+		if e.Scheme == "" || e.AddressSpace == "" {
+			t.Errorf("incomplete row %+v", e)
+		}
+	}
+	// Exactly one homogeneous comparison point: Rigel.
+	var homo []string
+	for _, e := range rows {
+		if e.Homogeneous {
+			homo = append(homo, e.Scheme)
+		}
+	}
+	if len(homo) != 1 || homo[0] != "Rigel" {
+		t.Errorf("homogeneous rows = %v, want [Rigel]", homo)
+	}
+}
+
+func TestFindingsMatchSectionIII(t *testing.T) {
+	f := Findings()
+	if f.Total != 13 {
+		t.Fatalf("total = %d", f.Total)
+	}
+	// "Most proposed/existing systems have disjoint memory systems."
+	if f.Disjoint < f.Unified || f.Disjoint < f.PartiallyShared || f.Disjoint < f.ADSM {
+		t.Errorf("disjoint (%d) is not the most common: %+v", f.Disjoint, f)
+	}
+	// "None of the heterogeneous computing systems has employed a
+	// unified, fully-coherent, strong-consistent memory system yet."
+	if f.FullyCoherentUnified != 0 {
+		t.Errorf("found %d fully-coherent strong-consistent unified systems, want 0", f.FullyCoherentUnified)
+	}
+	if f.PartiallyShared != 1 || f.ADSM != 1 {
+		t.Errorf("PAS/ADSM counts %d/%d, want 1/1", f.PartiallyShared, f.ADSM)
+	}
+}
+
+func TestByAddressSpace(t *testing.T) {
+	groups := ByAddressSpace()
+	if len(groups["disjoint"]) != 6 {
+		t.Errorf("disjoint group = %d, want 6", len(groups["disjoint"]))
+	}
+	if len(groups["unified"]) != 5 {
+		t.Errorf("unified group = %d, want 5", len(groups["unified"]))
+	}
+}
+
+func TestFabricKindStrings(t *testing.T) {
+	names := map[FabricKind]string{
+		FabricPCIe: "pcie", FabricPCIeAsync: "pcie-async", FabricAperture: "pci-aperture",
+		FabricMemCtrl: "memctrl", FabricIdeal: "ideal",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/isa"
+	"heteromem/internal/locality"
+	"heteromem/internal/mem"
+	"heteromem/internal/trace"
+)
+
+// gen builds a trace stream deterministically: a splitmix64 stream seeded
+// per kernel and PU drives address irregularity, so the same kernel always
+// produces the same trace.
+type gen struct {
+	out       trace.Stream
+	seed      uint64
+	pcBase    uint64
+	dataBase  uint64
+	footprint uint64
+	cursor    uint64
+	iter      uint64
+}
+
+func newGen(seed, pcBase, dataBase, footprint uint64) *gen {
+	if footprint == 0 {
+		footprint = 4096
+	}
+	return &gen{seed: seed, pcBase: pcBase, dataBase: dataBase, footprint: footprint}
+}
+
+// next is splitmix64: deterministic, well-distributed, allocation-free.
+func (g *gen) next() uint64 {
+	g.seed += 0x9e3779b97f4a7c15
+	z := g.seed
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (g *gen) pc(slot uint64) uint64 { return g.pcBase + slot*4 }
+
+// seqAddr returns the next streaming address, wrapping at the footprint.
+func (g *gen) seqAddr(stride uint64) uint64 {
+	a := g.dataBase + g.cursor%g.footprint
+	g.cursor += stride
+	return a
+}
+
+// randAddr returns a pseudo-random 8-byte-aligned address in the footprint.
+func (g *gen) randAddr() uint64 {
+	return g.dataBase + (g.next()%g.footprint)&^7
+}
+
+func (g *gen) emit(in trace.Inst) { g.out = append(g.out, in) }
+
+// bodyFn appends one loop iteration to g.
+type bodyFn func(g *gen)
+
+// fill emits iterations of body until the stream holds exactly n
+// instructions, truncating the final iteration and padding with ALU ops
+// if the body overshoots by less than one instruction's worth.
+func fill(n int, body bodyFn, g *gen) trace.Stream {
+	g.out = make(trace.Stream, 0, n+8)
+	for len(g.out) < n {
+		before := len(g.out)
+		body(g)
+		g.iter++
+		if len(g.out) == before {
+			panic("workload: loop body emitted nothing")
+		}
+	}
+	g.out = g.out[:n]
+	return g.out
+}
+
+// --- CPU loop bodies ---
+
+// streamAddCPU: the reduction inner loop — load, accumulate, advance,
+// loop branch.
+func streamAddCPU(g *gen) {
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.Load, Addr: g.seqAddr(8), Size: 8})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.ALU, Dep1: 1, Dep2: 4}) // acc += v
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.ALU})                   // i++
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.Branch, Taken: true, Dep1: 1})
+}
+
+// blockedFPCPU: matrix-multiply-like — two loads with strong reuse, a
+// multiply-accumulate chain, occasional store.
+func blockedFPCPU(g *gen) {
+	rowBase := g.dataBase + (g.iter/64%64)*512 // row reused across 64 iterations
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.Load, Addr: rowBase + g.iter%64*8, Size: 8})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.Load, Addr: g.seqAddr(8), Size: 8})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.Mul, Dep1: 1, Dep2: 2})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.FP, Dep1: 1, Dep2: 7}) // acc chain
+	if g.iter%64 == 63 {
+		g.emit(trace.Inst{PC: g.pc(4), Kind: isa.Store, Addr: g.dataBase + g.iter/64*8%g.footprint, Size: 8, Dep1: 1})
+	}
+	g.emit(trace.Inst{PC: g.pc(5), Kind: isa.ALU})
+	g.emit(trace.Inst{PC: g.pc(6), Kind: isa.Branch, Taken: true})
+}
+
+// stencilFPCPU: convolution-like — window loads with short reuse, FP
+// accumulation, store per window.
+func stencilFPCPU(g *gen) {
+	base := g.seqAddr(8)
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.Load, Addr: base, Size: 8})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.Load, Addr: base + 8, Size: 8})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.Load, Addr: base + 16, Size: 8})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.FP, Dep1: 1, Dep2: 2})
+	g.emit(trace.Inst{PC: g.pc(4), Kind: isa.FP, Dep1: 1, Dep2: 4})
+	g.emit(trace.Inst{PC: g.pc(5), Kind: isa.Store, Addr: base, Size: 8, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(6), Kind: isa.Branch, Taken: true})
+}
+
+// transformFPCPU: DCT-like — compute-dominated FP with periodic loads.
+func transformFPCPU(g *gen) {
+	if g.iter%4 == 0 {
+		g.emit(trace.Inst{PC: g.pc(0), Kind: isa.Load, Addr: g.seqAddr(64), Size: 64})
+	}
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.FP, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.Mul, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.FP, Dep1: 1, Dep2: 2})
+	g.emit(trace.Inst{PC: g.pc(4), Kind: isa.ALU})
+	if g.iter%8 == 7 {
+		g.emit(trace.Inst{PC: g.pc(5), Kind: isa.Store, Addr: g.seqAddr(8), Size: 8, Dep1: 1})
+	}
+	g.emit(trace.Inst{PC: g.pc(6), Kind: isa.Branch, Taken: true})
+}
+
+// irregularCPU: merge-sort-like — data-dependent loads, compare branches
+// whose direction follows the data (hard to predict), pointer-chase deps.
+func irregularCPU(g *gen) {
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.Load, Addr: g.randAddr(), Size: 8})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.Load, Addr: g.randAddr(), Size: 8})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.ALU, Dep1: 1, Dep2: 2}) // compare
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.Branch, Taken: g.next()&1 == 0, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(4), Kind: isa.Store, Addr: g.seqAddr(8), Size: 8, Dep1: 2})
+	g.emit(trace.Inst{PC: g.pc(5), Kind: isa.Branch, Taken: true})
+}
+
+// distanceCPU: k-mean-like — load a point, FP distance to each centroid,
+// compare-and-branch, occasional assignment store.
+func distanceCPU(g *gen) {
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.Load, Addr: g.seqAddr(16), Size: 16})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.Load, Addr: g.dataBase + g.iter%8*64, Size: 64}) // centroid: hot
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.FP, Dep1: 1, Dep2: 2})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.FP, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(4), Kind: isa.ALU, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(5), Kind: isa.Branch, Taken: g.next()%8 != 0, Dep1: 1})
+	if g.iter%8 == 0 {
+		g.emit(trace.Inst{PC: g.pc(6), Kind: isa.Store, Addr: g.seqAddr(8), Size: 8, Dep1: 2})
+	}
+}
+
+// --- GPU loop bodies (SIMD) ---
+
+func streamAddGPU(g *gen) {
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.SIMDLoad, Addr: g.seqAddr(32), Size: 32, Lanes: 8})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.SIMDALU, Dep1: 1, Dep2: 3})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.ALU})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.Branch, Taken: true})
+}
+
+func blockedFPGPU(g *gen) {
+	rowBase := g.dataBase + (g.iter/64%64)*512
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.SIMDLoad, Addr: rowBase + g.iter%16*32, Size: 32, Lanes: 8})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.SIMDLoad, Addr: g.seqAddr(32), Size: 32, Lanes: 8})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.SIMDFP, Dep1: 1, Dep2: 2})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.SIMDFP, Dep1: 1, Dep2: 6})
+	if g.iter%16 == 15 {
+		g.emit(trace.Inst{PC: g.pc(4), Kind: isa.SIMDStore, Addr: g.seqAddr(32), Size: 32, Lanes: 8, Dep1: 1})
+	}
+	g.emit(trace.Inst{PC: g.pc(5), Kind: isa.ALU})
+	g.emit(trace.Inst{PC: g.pc(6), Kind: isa.Branch, Taken: true})
+}
+
+func stencilFPGPU(g *gen) {
+	base := g.seqAddr(32)
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.SIMDLoad, Addr: base, Size: 32, Lanes: 8})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.SIMDLoad, Addr: base + 32, Size: 32, Lanes: 8})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.SIMDFP, Dep1: 1, Dep2: 2})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.SIMDStore, Addr: base, Size: 32, Lanes: 8, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(4), Kind: isa.Branch, Taken: true})
+}
+
+func transformFPGPU(g *gen) {
+	if g.iter%4 == 0 {
+		g.emit(trace.Inst{PC: g.pc(0), Kind: isa.SIMDLoad, Addr: g.seqAddr(64), Size: 64, Lanes: 8})
+	}
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.SIMDFP, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.SIMDFP, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.SIMDALU})
+	if g.iter%8 == 7 {
+		g.emit(trace.Inst{PC: g.pc(4), Kind: isa.SIMDStore, Addr: g.seqAddr(32), Size: 32, Lanes: 8, Dep1: 1})
+	}
+	g.emit(trace.Inst{PC: g.pc(5), Kind: isa.Branch, Taken: true})
+}
+
+func irregularGPU(g *gen) {
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.SIMDLoad, Addr: g.randAddr() &^ 31, Size: 32, Lanes: 8})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.SIMDALU, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.Branch, Taken: g.next()&1 == 0, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.SIMDStore, Addr: g.seqAddr(32), Size: 32, Lanes: 8, Dep1: 2})
+}
+
+func distanceGPU(g *gen) {
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.SIMDLoad, Addr: g.seqAddr(32), Size: 32, Lanes: 8})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.SIMDLoad, Addr: g.dataBase + g.iter%8*64, Size: 64, Lanes: 8})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.SIMDFP, Dep1: 1, Dep2: 2})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.SIMDFP, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(4), Kind: isa.ALU, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(5), Kind: isa.Branch, Taken: g.next()%8 != 0, Dep1: 1})
+}
+
+// mergeCPU is the serial merge/combination loop used by the sequential
+// phases.
+func mergeCPU(g *gen) {
+	g.emit(trace.Inst{PC: g.pc(0), Kind: isa.Load, Addr: g.seqAddr(8), Size: 8})
+	g.emit(trace.Inst{PC: g.pc(1), Kind: isa.ALU, Dep1: 1, Dep2: 3})
+	g.emit(trace.Inst{PC: g.pc(2), Kind: isa.Store, Addr: g.seqAddr(8), Size: 8, Dep1: 1})
+	g.emit(trace.Inst{PC: g.pc(3), Kind: isa.Branch, Taken: true})
+}
+
+// spec defines one kernel's generation parameters.
+type spec struct {
+	name      string
+	pattern   string
+	cpuBody   bodyFn
+	gpuBody   bodyFn
+	seqBody   bodyFn
+	footprint uint64
+}
+
+var specs = map[string]spec{
+	"reduction":   {"reduction", "parallel-merge-sequential", streamAddCPU, streamAddGPU, mergeCPU, 320512},
+	"matrix-mul":  {"matrix-mul", "fully-parallel", blockedFPCPU, blockedFPGPU, mergeCPU, 524288},
+	"convolution": {"convolution", "parallel-merge-parallel", stencilFPCPU, stencilFPGPU, mergeCPU, 65536},
+	"dct":         {"dct", "fully-parallel", transformFPCPU, transformFPGPU, mergeCPU, 262144},
+	"merge-sort":  {"merge-sort", "parallel-merge-sequential", irregularCPU, irregularGPU, mergeCPU, 39936},
+	"k-mean":      {"k-mean", "parallel-merge-sequential-repeated", distanceCPU, distanceGPU, mergeCPU, 136192},
+}
+
+// Names returns the kernel names in Table III order.
+func Names() []string {
+	names := make([]string, 0, len(specs))
+	for n := range specs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return tableOrder(names[i]) < tableOrder(names[j]) })
+	return names
+}
+
+func tableOrder(name string) int {
+	for i, c := range TableIII() {
+		if c.Name == name {
+			return i
+		}
+	}
+	return 99
+}
+
+func (s spec) cpuGen(phase uint64) *gen {
+	return newGen(0x1000+phase, 0x400000+phase*0x1000, cpuDataBase, s.footprint)
+}
+
+func (s spec) gpuGen(phase uint64) *gen {
+	return newGen(0x2000+phase, 0x800000+phase*0x1000, gpuDataBase, s.footprint)
+}
+
+func (s spec) seqGen(phase uint64) *gen {
+	return newGen(0x3000+phase, 0xc00000+phase*0x1000, shrDataBase, s.footprint/2+4096)
+}
+
+func parallel(s spec, phase uint64, cpuN, gpuN int) Phase {
+	return Phase{
+		Kind: Parallel,
+		CPU:  fill(cpuN, s.cpuBody, s.cpuGen(phase)),
+		GPU:  fill(gpuN, s.gpuBody, s.gpuGen(phase)),
+	}
+}
+
+func sequential(s spec, phase uint64, n int) Phase {
+	return Phase{Kind: Sequential, CPU: fill(n, s.seqBody, s.seqGen(phase))}
+}
+
+func h2d(bytes uint64) Phase {
+	return Phase{Kind: Transfer, Dir: HostToDevice, Bytes: bytes, Addr: gpuDataBase}
+}
+
+func d2h(bytes uint64) Phase {
+	return Phase{Kind: Transfer, Dir: DeviceToHost, Bytes: bytes, Addr: gpuDataBase}
+}
+
+func objects(s spec) []locality.Object {
+	return []locality.Object{
+		{Addr: cpuDataBase, Size: uint32(s.footprint / 2), Region: addrspace.CPUPrivate, User: mem.CPU},
+		{Addr: gpuDataBase, Size: uint32(s.footprint / 2), Region: addrspace.GPUPrivate, User: mem.GPU},
+		{Addr: shrDataBase, Size: uint32(s.footprint / 4), Region: addrspace.Shared, User: mem.CPU, Critical: true},
+		{Addr: shrDataBase + s.footprint/4, Size: uint32(s.footprint / 4), Region: addrspace.Shared, User: mem.GPU},
+	}
+}
+
+// Generate builds the named kernel's program. The instruction counts,
+// communication counts and initial transfer size of the result match
+// Table III exactly (verified by tests).
+func Generate(name string) (*Program, error) {
+	s, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown kernel %q (have %v)", name, Names())
+	}
+	p := &Program{Name: s.name, Pattern: s.pattern, Objects: objects(s)}
+	switch name {
+	case "reduction":
+		p.Phases = []Phase{
+			h2d(320512),
+			parallel(s, 0, 70006, 70001),
+			d2h(4096),
+			sequential(s, 1, 99996),
+		}
+	case "matrix-mul":
+		p.Phases = []Phase{
+			sequential(s, 0, 16384), // initialise matrices on the host
+			h2d(524288),
+			parallel(s, 1, 8585229, 8585228),
+			d2h(262144),
+		}
+	case "convolution":
+		p.Phases = []Phase{
+			h2d(65536),
+			parallel(s, 0, 224130, 224130),
+			d2h(32768),
+			sequential(s, 1, 65536), // merge halo rows on the host
+			parallel(s, 2, 224130, 224129),
+			d2h(32768),
+		}
+	case "dct":
+		p.Phases = []Phase{
+			sequential(s, 0, 262144), // build coefficient tables
+			h2d(262244),
+			parallel(s, 1, 2359298, 2359298),
+			d2h(131072),
+		}
+	case "merge-sort":
+		p.Phases = []Phase{
+			h2d(39936),
+			parallel(s, 0, 161233, 157233),
+			d2h(19968),
+			sequential(s, 1, 97668), // final merge of the two halves
+		}
+	case "k-mean":
+		// Three assignment/update rounds: centroids out, partial sums
+		// back, host-side centroid update each round.
+		cpuIters := []int{615922, 615922, 615921}
+		gpuIters := []int{614994, 614994, 614993}
+		seqIters := []int{12261, 12261, 12262}
+		sizes := []uint64{136192, 8192, 8192}
+		for i := 0; i < 3; i++ {
+			p.Phases = append(p.Phases,
+				h2d(sizes[i]),
+				parallel(s, uint64(i*2), cpuIters[i], gpuIters[i]),
+				d2h(8192),
+				sequential(s, uint64(i*2+1), seqIters[i]),
+			)
+		}
+	}
+	return p, nil
+}
+
+// MustGenerate is Generate but panics on unknown kernels.
+func MustGenerate(name string) *Program {
+	p, err := Generate(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// All generates every kernel in Table III order.
+func All() []*Program {
+	var out []*Program
+	for _, n := range Names() {
+		out = append(out, MustGenerate(n))
+	}
+	return out
+}

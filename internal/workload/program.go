@@ -1,0 +1,178 @@
+// Package workload provides the six evaluation kernels of Table III —
+// reduction, matrix multiply, convolution, DCT, merge sort and k-mean —
+// as phase programs: sequences of sequential-compute, parallel-compute
+// and data-transfer phases whose instruction counts, communication
+// counts and initial transfer sizes match the paper exactly.
+//
+// Because the evaluation depends only on instruction counts, mixes,
+// memory footprints and communication volume (the paper's traces carry
+// no program semantics either), the trace streams are synthesised
+// deterministically per kernel with per-kernel instruction mixes and
+// access patterns. See DESIGN.md for the substitution rationale.
+package workload
+
+import (
+	"fmt"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/locality"
+	"heteromem/internal/trace"
+)
+
+// PhaseKind classifies a program phase.
+type PhaseKind uint8
+
+const (
+	// Sequential runs CPU-only serial code.
+	Sequential PhaseKind = iota
+	// Parallel runs the CPU and GPU halves concurrently (the paper
+	// divides computational work evenly between the PUs).
+	Parallel
+	// Transfer logically moves data between the PUs' memories; the
+	// system under evaluation decides its cost.
+	Transfer
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case Sequential:
+		return "sequential"
+	case Parallel:
+		return "parallel"
+	case Transfer:
+		return "transfer"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(k))
+	}
+}
+
+// Direction of a transfer phase.
+type Direction uint8
+
+const (
+	// HostToDevice moves data from CPU memory to GPU memory.
+	HostToDevice Direction = iota
+	// DeviceToHost moves data from GPU memory to CPU memory.
+	DeviceToHost
+)
+
+func (d Direction) String() string {
+	if d == HostToDevice {
+		return "h2d"
+	}
+	return "d2h"
+}
+
+// Phase is one step of a program.
+type Phase struct {
+	Kind PhaseKind
+	// CPU and GPU hold the traces for compute phases (GPU empty for
+	// Sequential).
+	CPU trace.Stream
+	GPU trace.Stream
+	// Dir and Bytes describe a Transfer phase. Addr is the base of the
+	// moved object, so address-space models can track ownership and
+	// first-touch state.
+	Dir   Direction
+	Bytes uint64
+	Addr  uint64
+}
+
+// Program is a complete kernel: its phases, the data objects it
+// manipulates (for locality planning), and its Table III identity.
+type Program struct {
+	Name    string
+	Pattern string
+	Phases  []Phase
+	Objects []locality.Object
+}
+
+// Characteristics is one row of Table III.
+type Characteristics struct {
+	Name                 string
+	Pattern              string
+	CPUInsts             uint64
+	GPUInsts             uint64
+	SerialInsts          uint64
+	Comms                int
+	InitialTransferBytes uint64
+}
+
+// Characteristics computes the program's Table III row from its phases.
+func (p *Program) Characteristics() Characteristics {
+	c := Characteristics{Name: p.Name, Pattern: p.Pattern}
+	first := true
+	for _, ph := range p.Phases {
+		switch ph.Kind {
+		case Sequential:
+			c.SerialInsts += uint64(len(ph.CPU))
+		case Parallel:
+			c.CPUInsts += uint64(len(ph.CPU))
+			c.GPUInsts += uint64(len(ph.GPU))
+		case Transfer:
+			c.Comms++
+			if first {
+				c.InitialTransferBytes = ph.Bytes
+				first = false
+			}
+		}
+	}
+	return c
+}
+
+// Validate checks every trace in the program.
+func (p *Program) Validate() error {
+	for i, ph := range p.Phases {
+		if err := ph.CPU.Validate(); err != nil {
+			return fmt.Errorf("%s phase %d cpu: %w", p.Name, i, err)
+		}
+		if err := ph.GPU.Validate(); err != nil {
+			return fmt.Errorf("%s phase %d gpu: %w", p.Name, i, err)
+		}
+		switch ph.Kind {
+		case Sequential:
+			if len(ph.GPU) != 0 {
+				return fmt.Errorf("%s phase %d: sequential phase has GPU work", p.Name, i)
+			}
+		case Transfer:
+			if ph.Bytes == 0 {
+				return fmt.Errorf("%s phase %d: zero-byte transfer", p.Name, i)
+			}
+			if len(ph.CPU) != 0 || len(ph.GPU) != 0 {
+				return fmt.Errorf("%s phase %d: transfer phase has compute work", p.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalInstructions returns the instruction count across all phases.
+func (p *Program) TotalInstructions() uint64 {
+	var n uint64
+	for _, ph := range p.Phases {
+		n += uint64(len(ph.CPU)) + uint64(len(ph.GPU))
+	}
+	return n
+}
+
+// Data-layout bases for generated traces. CPU-half data lives in the CPU
+// private region, GPU-half data in the GPU private region, merge buffers
+// in the shared region, so address-space models see region-appropriate
+// traffic.
+const (
+	cpuDataBase = addrspace.CPUPrivateBase + 1<<20
+	gpuDataBase = addrspace.GPUPrivateBase + 1<<20
+	shrDataBase = addrspace.SharedBase + 1<<20
+)
+
+// TableIII returns the paper's benchmark characteristics verbatim.
+func TableIII() []Characteristics {
+	return []Characteristics{
+		{"reduction", "parallel-merge-sequential", 70006, 70001, 99996, 2, 320512},
+		{"matrix-mul", "fully-parallel", 8585229, 8585228, 16384, 2, 524288},
+		{"convolution", "parallel-merge-parallel", 448260, 448259, 65536, 3, 65536},
+		{"dct", "fully-parallel", 2359298, 2359298, 262144, 2, 262244},
+		{"merge-sort", "parallel-merge-sequential", 161233, 157233, 97668, 2, 39936},
+		{"k-mean", "parallel-merge-sequential-repeated", 1847765, 1844981, 36784, 6, 136192},
+	}
+}

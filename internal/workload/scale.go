@@ -1,0 +1,36 @@
+package workload
+
+import "fmt"
+
+// ScaleTransfers returns a copy of the program whose transfer phases
+// move factor times the bytes (rounded up to one byte). Compute phases
+// are shared with the original (they are read-only to the simulator), so
+// scaling is cheap even for multi-million-instruction kernels.
+//
+// Transfer scaling drives sensitivity studies: as the communication
+// volume grows relative to fixed compute, the gap between PCI-E-based
+// systems and memory-controller or ideal communication widens, moving
+// the crossover points between designs.
+func ScaleTransfers(p *Program, factor float64) (*Program, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("workload: non-positive transfer scale %v", factor)
+	}
+	out := &Program{
+		Name:    p.Name,
+		Pattern: p.Pattern,
+		Phases:  make([]Phase, len(p.Phases)),
+		Objects: p.Objects,
+	}
+	copy(out.Phases, p.Phases)
+	for i := range out.Phases {
+		if out.Phases[i].Kind != Transfer {
+			continue
+		}
+		b := uint64(float64(out.Phases[i].Bytes) * factor)
+		if b == 0 {
+			b = 1
+		}
+		out.Phases[i].Bytes = b
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/locality"
+	"heteromem/internal/mem"
+	"heteromem/internal/trace"
+)
+
+// Program file format:
+//
+//	magic "HMPG" | version u16
+//	name len u16 | name | pattern len u16 | pattern
+//	object count u32 | objects (addr u64, size u32, region u8, user u8, critical u8)
+//	phase count u32 | phases:
+//	    kind u8
+//	    compute: cpu trace (trace format) | gpu trace (trace format)
+//	    transfer: dir u8 | bytes u64 | addr u64
+//
+// The embedded traces reuse the trace package's binary format, so a
+// program file is self-contained: hettrace-generated programs replay
+// bit-identically anywhere.
+const (
+	programMagic   = "HMPG"
+	programVersion = uint16(1)
+)
+
+// SaveProgram serialises the program to w.
+func SaveProgram(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(programMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, programVersion); err != nil {
+		return err
+	}
+	if err := writeString(bw, p.Name); err != nil {
+		return err
+	}
+	if err := writeString(bw, p.Pattern); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Objects))); err != nil {
+		return err
+	}
+	for _, o := range p.Objects {
+		if err := writeObject(bw, o); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Phases))); err != nil {
+		return err
+	}
+	for _, ph := range p.Phases {
+		if err := bw.WriteByte(uint8(ph.Kind)); err != nil {
+			return err
+		}
+		switch ph.Kind {
+		case Transfer:
+			if err := bw.WriteByte(uint8(ph.Dir)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, ph.Bytes); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, ph.Addr); err != nil {
+				return err
+			}
+		default:
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			if err := trace.Write(w, ph.CPU); err != nil {
+				return err
+			}
+			if err := trace.Write(w, ph.GPU); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadProgram deserialises a program written by SaveProgram and
+// validates it.
+func LoadProgram(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("workload: reading program header: %w", err)
+	}
+	if string(magic) != programMagic {
+		return nil, fmt.Errorf("workload: bad program magic %q", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != programVersion {
+		return nil, fmt.Errorf("workload: unsupported program version %d", version)
+	}
+	p := &Program{}
+	var err error
+	if p.Name, err = readString(br); err != nil {
+		return nil, err
+	}
+	if p.Pattern, err = readString(br); err != nil {
+		return nil, err
+	}
+	var nObj uint32
+	if err := binary.Read(br, binary.LittleEndian, &nObj); err != nil {
+		return nil, err
+	}
+	if nObj > 1<<16 {
+		return nil, fmt.Errorf("workload: implausible object count %d", nObj)
+	}
+	for i := uint32(0); i < nObj; i++ {
+		o, err := readObject(br)
+		if err != nil {
+			return nil, err
+		}
+		p.Objects = append(p.Objects, o)
+	}
+	var nPhases uint32
+	if err := binary.Read(br, binary.LittleEndian, &nPhases); err != nil {
+		return nil, err
+	}
+	if nPhases > 1<<16 {
+		return nil, fmt.Errorf("workload: implausible phase count %d", nPhases)
+	}
+	for i := uint32(0); i < nPhases; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		ph := Phase{Kind: PhaseKind(kind)}
+		switch ph.Kind {
+		case Transfer:
+			dir, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			ph.Dir = Direction(dir)
+			if err := binary.Read(br, binary.LittleEndian, &ph.Bytes); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, binary.LittleEndian, &ph.Addr); err != nil {
+				return nil, err
+			}
+		case Sequential, Parallel:
+			if ph.CPU, err = trace.Read(br); err != nil {
+				return nil, fmt.Errorf("workload: phase %d cpu trace: %w", i, err)
+			}
+			if ph.GPU, err = trace.Read(br); err != nil {
+				return nil, fmt.Errorf("workload: phase %d gpu trace: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("workload: phase %d has unknown kind %d", i, kind)
+		}
+		p.Phases = append(p.Phases, ph)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: loaded program invalid: %w", err)
+	}
+	return p, nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if len(s) > 1<<16-1 {
+		return fmt.Errorf("workload: string too long (%d)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeObject(w *bufio.Writer, o locality.Object) error {
+	if err := binary.Write(w, binary.LittleEndian, o.Addr); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, o.Size); err != nil {
+		return err
+	}
+	if err := w.WriteByte(uint8(o.Region)); err != nil {
+		return err
+	}
+	if err := w.WriteByte(uint8(o.User)); err != nil {
+		return err
+	}
+	crit := byte(0)
+	if o.Critical {
+		crit = 1
+	}
+	return w.WriteByte(crit)
+}
+
+func readObject(r *bufio.Reader) (locality.Object, error) {
+	var o locality.Object
+	if err := binary.Read(r, binary.LittleEndian, &o.Addr); err != nil {
+		return o, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &o.Size); err != nil {
+		return o, err
+	}
+	region, err := r.ReadByte()
+	if err != nil {
+		return o, err
+	}
+	o.Region = addrspace.Region(region)
+	user, err := r.ReadByte()
+	if err != nil {
+		return o, err
+	}
+	o.User = mem.PU(user)
+	crit, err := r.ReadByte()
+	if err != nil {
+		return o, err
+	}
+	o.Critical = crit != 0
+	return o, nil
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProgramRoundTrip(t *testing.T) {
+	orig := MustGenerate("merge-sort")
+	var buf bytes.Buffer
+	if err := SaveProgram(&buf, orig); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := LoadProgram(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.Name != orig.Name || got.Pattern != orig.Pattern {
+		t.Fatalf("identity: %s/%s", got.Name, got.Pattern)
+	}
+	if !reflect.DeepEqual(got.Objects, orig.Objects) {
+		t.Fatalf("objects:\n got %+v\nwant %+v", got.Objects, orig.Objects)
+	}
+	if len(got.Phases) != len(orig.Phases) {
+		t.Fatalf("phases: %d vs %d", len(got.Phases), len(orig.Phases))
+	}
+	for i := range got.Phases {
+		if !reflect.DeepEqual(got.Phases[i], orig.Phases[i]) {
+			t.Fatalf("phase %d differs", i)
+		}
+	}
+	if got.Characteristics() != orig.Characteristics() {
+		t.Fatal("characteristics changed through serialisation")
+	}
+}
+
+func TestProgramRoundTripAllKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix-mul serialisation is large")
+	}
+	for _, name := range []string{"reduction", "convolution", "k-mean"} {
+		orig := MustGenerate(name)
+		var buf bytes.Buffer
+		if err := SaveProgram(&buf, orig); err != nil {
+			t.Fatalf("%s save: %v", name, err)
+		}
+		got, err := LoadProgram(&buf)
+		if err != nil {
+			t.Fatalf("%s load: %v", name, err)
+		}
+		if got.Characteristics() != orig.Characteristics() {
+			t.Fatalf("%s characteristics changed", name)
+		}
+	}
+}
+
+func TestLoadProgramRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "XXXXxxxxxxxxxxxxxxxx",
+		"truncated": "HMPG\x01\x00\x04\x00na",
+	}
+	for name, raw := range cases {
+		if _, err := LoadProgram(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadProgramRejectsBadVersion(t *testing.T) {
+	orig := MustGenerate("reduction")
+	var buf bytes.Buffer
+	if err := SaveProgram(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 0xff
+	if _, err := LoadProgram(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestLoadProgramRejectsCorruptPhaseKind(t *testing.T) {
+	orig := MustGenerate("reduction")
+	var buf bytes.Buffer
+	if err := SaveProgram(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The first phase (a transfer) starts right after the fixed prefix;
+	// find its kind byte by searching for the transfer encoding is
+	// brittle, so instead corrupt the final byte region and expect either
+	// an error or an unchanged prefix — the loader must never panic.
+	raw[len(raw)-1] ^= 0xff
+	p, err := LoadProgram(bytes.NewReader(raw))
+	if err == nil && p.Validate() != nil {
+		t.Fatal("corrupt program loaded and invalid")
+	}
+}
