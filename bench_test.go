@@ -9,8 +9,12 @@
 package heteromem_test
 
 import (
+	"fmt"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"heteromem"
 	"heteromem/internal/cache"
@@ -20,6 +24,7 @@ import (
 	"heteromem/internal/dram"
 	"heteromem/internal/harness"
 	"heteromem/internal/mem"
+	"heteromem/internal/obs"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
 	"heteromem/internal/workload"
@@ -32,6 +37,41 @@ func printArtifact(b *testing.B, key, artifact string) {
 	if _, done := printOnce.LoadOrStore(key, true); !done {
 		b.Log("\n" + artifact)
 	}
+}
+
+// benchJSON collects headline numbers for a BENCH_<date>.json dump when
+// HETSIM_BENCH_JSON is set (see TestMain). Nil when disabled; every
+// method on a nil report is a no-op.
+var benchJSON *obs.BenchReport
+
+// TestMain writes the collected benchmark headline numbers to
+// BENCH_<date>.json in the repository root after a run with
+// HETSIM_BENCH_JSON set (to a YYYY-MM-DD date, or to 1 for today).
+func TestMain(m *testing.M) {
+	if date := os.Getenv("HETSIM_BENCH_JSON"); date != "" {
+		if date == "1" || date == "true" {
+			date = time.Now().Format("2006-01-02")
+		}
+		benchJSON = obs.NewBenchReport(date)
+		benchJSON.GoOS, benchJSON.GoArch = runtime.GOOS, runtime.GOARCH
+	}
+	code := m.Run()
+	if benchJSON != nil && len(benchJSON.Entries) > 0 {
+		path, err := benchJSON.WriteFile(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "writing bench json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+	}
+	os.Exit(code)
+}
+
+// reportMetric reports a custom metric to the benchmark framework and
+// records it in the JSON report under the benchmark's full name.
+func reportMetric(b *testing.B, value float64, unit string) {
+	b.ReportMetric(value, unit)
+	benchJSON.Add(b.Name()+"/"+unit, value, unit)
 }
 
 // --- Tables ---
@@ -138,7 +178,9 @@ func BenchmarkSimulateKernel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(p.TotalInstructions()), "insts/run")
+			reportMetric(b, float64(p.TotalInstructions()), "insts/run")
+			benchJSON.Add(b.Name()+"/ns_op",
+				float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/op")
 		})
 	}
 }
@@ -177,7 +219,7 @@ func BenchmarkAblationDRAMScheduling(b *testing.B) {
 					last = clock.Max(last, t)
 				}
 			}
-			b.ReportMetric(float64(last)/1000, "finish_ns")
+			reportMetric(b, float64(last)/1000, "finish_ns")
 		})
 	}
 }
@@ -215,7 +257,7 @@ func BenchmarkAblationLocalityBit(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				survived = run(policy)
 			}
-			b.ReportMetric(float64(survived), "critical_survived")
+			reportMetric(b, float64(survived), "critical_survived")
 		})
 	}
 }
@@ -241,7 +283,7 @@ func BenchmarkAblationAsyncCopy(b *testing.B) {
 				}
 				total = res.Total()
 			}
-			b.ReportMetric(total.Microseconds(), "sim_us")
+			reportMetric(b, total.Microseconds(), "sim_us")
 		})
 	}
 }
@@ -270,7 +312,7 @@ func BenchmarkAblationCoherence(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				d = run(mode)
 			}
-			b.ReportMetric(d.Microseconds(), "pingpong_us")
+			reportMetric(b, d.Microseconds(), "pingpong_us")
 		})
 	}
 }
@@ -300,7 +342,7 @@ func BenchmarkAblationConsistency(b *testing.B) {
 				}
 				total = end.Sub(0)
 			}
-			b.ReportMetric(total.Microseconds(), "cpu_us")
+			reportMetric(b, total.Microseconds(), "cpu_us")
 		})
 	}
 }
@@ -330,7 +372,7 @@ func BenchmarkAblationFaultGranularity(b *testing.B) {
 				}
 				comm = res.Communication
 			}
-			b.ReportMetric(comm.Microseconds(), "comm_us")
+			reportMetric(b, comm.Microseconds(), "comm_us")
 		})
 	}
 }
@@ -372,7 +414,7 @@ func BenchmarkAblationCoalescing(b *testing.B) {
 				}
 				total = res.Total()
 			}
-			b.ReportMetric(total.Microseconds(), "sim_us")
+			reportMetric(b, total.Microseconds(), "sim_us")
 		})
 	}
 }

@@ -9,14 +9,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
+	"heteromem/internal/config"
 	"heteromem/internal/energy"
 	"heteromem/internal/locality"
+	"heteromem/internal/obs"
 	"heteromem/internal/report"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
@@ -34,8 +37,19 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-component statistics")
 		loc      = flag.String("locality", "", "apply a locality scheme: expl-shared, expl-private, or hybrid")
 		energyOn = flag.Bool("energy", false, "print the estimated energy breakdown")
+
+		jsonOut        = flag.Bool("json", false, "emit the full results as JSON to stdout instead of tables")
+		traceOut       = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (single system only)")
+		intervalOut    = flag.String("interval-stats", "", "write the per-epoch interval statistics CSV (single system only)")
+		intervalCycles = flag.Uint64("interval-cycles", 100_000, "sampling epoch length in CPU cycles for -interval-stats")
+		metricsOut     = flag.String("metrics-json", "", "write the final metrics registry as JSON; \"-\" for stdout (single system only)")
 	)
 	flag.Parse()
+
+	observing := *traceOut != "" || *intervalOut != "" || *metricsOut != ""
+	if observing && *all {
+		log.Fatal("-trace, -interval-stats and -metrics-json apply to a single system; drop -all")
+	}
 
 	opts := sim.Options{}
 	if *loc != "" {
@@ -79,6 +93,26 @@ func main() {
 		sysList = []systems.System{s}
 	}
 
+	var reg *obs.Registry
+	var sampler *obs.Sampler
+	var tracer *obs.Tracer
+	if observing {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+		if *intervalOut != "" {
+			cyclePS := uint64(config.BaselineCPU().Domain().PeriodPS())
+			if *intervalCycles == 0 {
+				log.Fatal("-interval-cycles must be positive")
+			}
+			sampler = obs.NewSampler(reg, *intervalCycles*cyclePS)
+			opts.Sampler = sampler
+		}
+		if *traceOut != "" {
+			tracer = obs.NewTracer()
+			opts.Tracer = tracer
+		}
+	}
+
 	tbl := report.Table{
 		Title:   fmt.Sprintf("%s (%s pattern, %d instructions)", p.Name, p.Pattern, p.TotalInstructions()),
 		Headers: []string{"system", "sequential", "parallel", "communication", "total", "comm share"},
@@ -99,14 +133,23 @@ func main() {
 			report.Dur(res.Communication), report.Dur(res.Total()),
 			report.Pct(res.CommFraction()))
 	}
-	fmt.Print(tbl.String())
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(tbl.String())
+	}
+	writeObservability(*traceOut, tracer, *intervalOut, sampler, *metricsOut, reg)
 
-	if *verbose {
+	if *verbose && !*jsonOut {
 		for _, res := range results {
 			printDetail(res)
 		}
 	}
-	if *energyOn {
+	if *energyOn && !*jsonOut {
 		etbl := report.Table{
 			Title:   "estimated energy (nJ)",
 			Headers: []string{"system", "cores", "caches", "dram", "noc", "comm", "total"},
@@ -122,6 +165,37 @@ func main() {
 		fmt.Print(etbl.String())
 	}
 	_ = os.Stdout.Sync()
+}
+
+// writeObservability flushes the attached sinks to their output files.
+func writeObservability(tracePath string, tracer *obs.Tracer, intervalPath string, sampler *obs.Sampler, metricsPath string, reg *obs.Registry) {
+	writeTo := func(path string, write func(*os.File) error) {
+		f := os.Stdout
+		if path != "-" {
+			var err error
+			if f, err = os.Create(path); err != nil {
+				log.Fatal(err)
+			}
+		}
+		err := write(f)
+		if path != "-" {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if tracePath != "" {
+		writeTo(tracePath, func(f *os.File) error { return tracer.WriteJSON(f) })
+	}
+	if intervalPath != "" {
+		writeTo(intervalPath, func(f *os.File) error { return sampler.WriteCSV(f) })
+	}
+	if metricsPath != "" {
+		writeTo(metricsPath, func(f *os.File) error { return reg.WriteJSON(f) })
+	}
 }
 
 func schemeByName(name string) (locality.Scheme, error) {

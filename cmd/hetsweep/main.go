@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +32,7 @@ func main() {
 		guide       = flag.Bool("guideline", false, "score the address-space models and recommend one (Section VII future work)")
 		csvPath     = flag.String("csv", "", "also write the case-study sweep as CSV to this file")
 		energyOut   = flag.Bool("energy", false, "print the energy breakdown for the case-study sweep")
+		jsonOut     = flag.Bool("json", false, "emit the case-study sweep (full results) as JSON to stdout")
 	)
 	flag.Parse()
 
@@ -51,7 +53,7 @@ func main() {
 		printGuideline(kernels)
 		return
 	}
-	if !*all && *table == 0 && *figure == 0 && !*energyOut && *csvPath == "" {
+	if !*all && *table == 0 && *figure == 0 && !*energyOut && *csvPath == "" && !*jsonOut {
 		flag.Usage()
 		return
 	}
@@ -114,6 +116,9 @@ func main() {
 		if *csvPath != "" {
 			writeCSV(*csvPath, caseStudies())
 		}
+		if *jsonOut {
+			writeJSON(caseStudies())
+		}
 		return
 	}
 	if *table != 0 {
@@ -127,6 +132,17 @@ func main() {
 	}
 	if *csvPath != "" {
 		writeCSV(*csvPath, caseStudies())
+	}
+	if *jsonOut {
+		writeJSON(caseStudies())
+	}
+}
+
+func writeJSON(cells []harness.Cell) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cells); err != nil {
+		log.Fatal(err)
 	}
 }
 

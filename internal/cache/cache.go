@@ -17,6 +17,8 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+
+	"heteromem/internal/obs"
 )
 
 // Policy selects the replacement policy.
@@ -131,7 +133,27 @@ type Cache struct {
 	lineShift uint
 	tick      uint64
 	stats     Stats
+	obs       cacheObs
 	maxExpl   int
+}
+
+// cacheObs holds the cache's observability instruments; nil (the
+// default) instruments make every bump a no-op.
+type cacheObs struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+// Instrument registers the cache's hit/miss/eviction counters with reg
+// under the given prefix (e.g. "mem.cpu.l1d" yields
+// "mem.cpu.l1d.hits"). A nil registry detaches the instruments.
+func (c *Cache) Instrument(reg *obs.Registry, prefix string) {
+	c.obs = cacheObs{
+		hits:      reg.Counter(prefix + ".hits"),
+		misses:    reg.Counter(prefix + ".misses"),
+		evictions: reg.Counter(prefix + ".evictions"),
+	}
 }
 
 // New returns a cache with the given configuration.
@@ -202,10 +224,12 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 				set[i].dirty = true
 			}
 			c.stats.Hits++
+			c.obs.hits.Inc()
 			return true
 		}
 	}
 	c.stats.Misses++
+	c.obs.misses.Inc()
 	return false
 }
 
@@ -257,6 +281,7 @@ func (c *Cache) Fill(addr uint64, explicit, dirty bool) Eviction {
 			Explicit: set[victim].explicit,
 		}
 		c.stats.Evictions++
+		c.obs.evictions.Inc()
 		if ev.Dirty {
 			c.stats.Writebacks++
 		}

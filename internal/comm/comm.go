@@ -17,6 +17,7 @@ import (
 	"heteromem/internal/config"
 	"heteromem/internal/dram"
 	"heteromem/internal/isa"
+	"heteromem/internal/obs"
 )
 
 // Fabric times bulk transfers between CPU and GPU memory.
@@ -36,6 +37,9 @@ type Fabric interface {
 	Launch() clock.Duration
 	// Stats returns cumulative transfer counters.
 	Stats() Stats
+	// Instrument registers the fabric's metrics (comm.*) with reg; a nil
+	// registry detaches them.
+	Instrument(reg *obs.Registry)
 }
 
 // Stats counts fabric activity.
@@ -43,6 +47,29 @@ type Stats struct {
 	Transfers uint64
 	Bytes     uint64
 	Busy      clock.Duration
+}
+
+// fabObs holds a fabric's observability instruments under the comm.*
+// namespace; nil instruments make every bump a no-op. All fabric kinds
+// share the same metric names — a simulator has exactly one fabric.
+type fabObs struct {
+	transfers *obs.Counter
+	bytes     *obs.Counter
+	busyPS    *obs.Counter
+}
+
+func newFabObs(reg *obs.Registry) fabObs {
+	return fabObs{
+		transfers: reg.Counter("comm.transfers"),
+		bytes:     reg.Counter("comm.bytes"),
+		busyPS:    reg.Counter("comm.busy_ps"),
+	}
+}
+
+func (o *fabObs) record(bytes uint64, busy clock.Duration) {
+	o.transfers.Inc()
+	o.bytes.Add(bytes)
+	o.busyPS.Add(uint64(busy))
 }
 
 // PCIe is the PCI-E 2.0 fabric: each transfer pays the api-pci base
@@ -53,6 +80,7 @@ type PCIe struct {
 	link   *clock.Resource
 	async  bool
 	stats  Stats
+	obs    fabObs
 }
 
 // NewPCIe returns a PCI-E fabric with Table IV costs. async selects the
@@ -86,6 +114,9 @@ func (p *PCIe) Launch() clock.Duration {
 // Stats implements Fabric.
 func (p *PCIe) Stats() Stats { return p.stats }
 
+// Instrument implements Fabric.
+func (p *PCIe) Instrument(reg *obs.Registry) { p.obs = newFabObs(reg) }
+
 // Transfer implements Fabric: base api-pci latency, then the payload
 // serialises onto the shared link.
 func (p *PCIe) Transfer(bytes uint64, now clock.Time) clock.Time {
@@ -96,6 +127,7 @@ func (p *PCIe) Transfer(bytes uint64, now clock.Time) clock.Time {
 	p.stats.Transfers++
 	p.stats.Bytes += bytes
 	p.stats.Busy += ser
+	p.obs.record(bytes, ser)
 	return done
 }
 
@@ -107,6 +139,7 @@ type Aperture struct {
 	params config.CommParams
 	link   *clock.Resource
 	stats  Stats
+	obs    fabObs
 }
 
 // NewAperture returns a PCI-aperture fabric with Table IV costs.
@@ -127,6 +160,9 @@ func (a *Aperture) Launch() clock.Duration { return 0 }
 // Stats implements Fabric.
 func (a *Aperture) Stats() Stats { return a.stats }
 
+// Instrument implements Fabric.
+func (a *Aperture) Instrument(reg *obs.Registry) { a.obs = newFabObs(reg) }
+
 // Transfer implements Fabric.
 func (a *Aperture) Transfer(bytes uint64, now clock.Time) clock.Time {
 	base := a.params.Latency(isa.APITransfer, 0)
@@ -135,6 +171,7 @@ func (a *Aperture) Transfer(bytes uint64, now clock.Time) clock.Time {
 	a.stats.Transfers++
 	a.stats.Bytes += bytes
 	a.stats.Busy += ser
+	a.obs.record(bytes, ser)
 	return done
 }
 
@@ -145,6 +182,7 @@ func (a *Aperture) Transfer(bytes uint64, now clock.Time) clock.Time {
 type MemController struct {
 	ctrl  *dram.Controller
 	stats Stats
+	obs   fabObs
 }
 
 // NewMemController returns a memory-controller fabric backed by ctrl.
@@ -165,6 +203,9 @@ func (m *MemController) Launch() clock.Duration { return 0 }
 // Stats implements Fabric.
 func (m *MemController) Stats() Stats { return m.stats }
 
+// Instrument implements Fabric.
+func (m *MemController) Instrument(reg *obs.Registry) { m.obs = newFabObs(reg) }
+
 // Transfer implements Fabric: read every source line and write every
 // destination line through the controllers.
 func (m *MemController) Transfer(bytes uint64, now clock.Time) clock.Time {
@@ -172,6 +213,7 @@ func (m *MemController) Transfer(bytes uint64, now clock.Time) clock.Time {
 	m.stats.Transfers++
 	m.stats.Bytes += bytes
 	m.stats.Busy += done.Sub(now)
+	m.obs.record(bytes, done.Sub(now))
 	return done
 }
 
@@ -179,6 +221,7 @@ func (m *MemController) Transfer(bytes uint64, now clock.Time) clock.Time {
 // experiment.
 type Ideal struct {
 	stats Stats
+	obs   fabObs
 }
 
 // NewIdeal returns an ideal fabric.
@@ -196,10 +239,14 @@ func (i *Ideal) Launch() clock.Duration { return 0 }
 // Stats implements Fabric.
 func (i *Ideal) Stats() Stats { return i.stats }
 
+// Instrument implements Fabric.
+func (i *Ideal) Instrument(reg *obs.Registry) { i.obs = newFabObs(reg) }
+
 // Transfer implements Fabric: free.
 func (i *Ideal) Transfer(bytes uint64, now clock.Time) clock.Time {
 	i.stats.Transfers++
 	i.stats.Bytes += bytes
+	i.obs.record(bytes, 0)
 	return now
 }
 

@@ -16,6 +16,7 @@ import (
 	"heteromem/internal/config"
 	"heteromem/internal/isa"
 	"heteromem/internal/mem"
+	"heteromem/internal/obs"
 	"heteromem/internal/trace"
 
 	"heteromem/internal/bpred"
@@ -56,11 +57,42 @@ type Core struct {
 	pred   *bpred.Gshare
 	memory Memory
 	comm   CommCoster
+	obs    coreObs
 
 	// completion and retire rings must cover both the ROB window and the
 	// maximum trace dependency distance (uint16).
 	comp   []clock.Time
 	retire []clock.Time
+}
+
+// coreObs holds the core's observability instruments under the cpu.*
+// namespace. All fields are nil until Instrument is called, and every
+// bump on a nil instrument is a no-op, so the uninstrumented hot path
+// pays one predictable branch per bump.
+type coreObs struct {
+	instructions *obs.Counter
+	branches     *obs.Counter
+	mispredicts  *obs.Counter
+	memOps       *obs.Counter
+	commOps      *obs.Counter
+	pushOps      *obs.Counter
+	commTimePS   *obs.Counter
+	memLatPS     *obs.Histogram
+}
+
+// Instrument registers the core's metrics (cpu.*) with reg and routes the
+// hot-path bumps to them. A nil registry detaches the instruments.
+func (c *Core) Instrument(reg *obs.Registry) {
+	c.obs = coreObs{
+		instructions: reg.Counter("cpu.instructions"),
+		branches:     reg.Counter("cpu.branches"),
+		mispredicts:  reg.Counter("cpu.mispredicts"),
+		memOps:       reg.Counter("cpu.memops"),
+		commOps:      reg.Counter("cpu.commops"),
+		pushOps:      reg.Counter("cpu.pushops"),
+		commTimePS:   reg.Counter("cpu.commtime_ps"),
+		memLatPS:     reg.Histogram("cpu.memlat_ps"),
+	}
 }
 
 const ringSize = 1 << 16
@@ -171,12 +203,14 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 		case in.Kind == isa.Branch:
 			done = ready.Add(c.cycle)
 			e.stats.Branches++
+			c.obs.branches.Inc()
 			correct := true
 			if c.pred != nil {
 				correct = c.pred.Update(in.PC, in.Taken)
 			}
 			if !correct {
 				e.stats.Mispredicts++
+				c.obs.mispredicts.Inc()
 				resume := done.Add(clock.Duration(c.cfg.MispredictPenalty) * c.cycle)
 				if resume > e.cur {
 					e.cur = resume
@@ -185,9 +219,12 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 			}
 		case in.Kind == isa.Load:
 			e.stats.MemOps++
+			c.obs.memOps.Inc()
 			done = c.memory.Access(mem.CPU, in.Addr, false, ready)
+			c.obs.memLatPS.Observe(uint64(done.Sub(ready)))
 		case in.Kind == isa.Store:
 			e.stats.MemOps++
+			c.obs.memOps.Inc()
 			drain := c.memory.Access(mem.CPU, in.Addr, true, ready)
 			if drain > e.maxComp {
 				e.maxComp = drain
@@ -207,8 +244,10 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 			}
 		case in.Kind.IsComm():
 			e.stats.CommOps++
+			c.obs.commOps.Inc()
 			d := c.comm(in.Kind, in.Size)
 			e.stats.CommTime += d
+			c.obs.commTimePS.Add(uint64(d))
 			// A blocking API call serialises the core: it begins after all
 			// outstanding work and stalls dispatch until it returns.
 			at := clock.Max(ready, e.maxComp)
@@ -217,6 +256,7 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 			e.issued = 0
 		case in.Kind == isa.Push:
 			e.stats.PushOps++
+			c.obs.pushOps.Inc()
 			done = c.memory.Push(mem.CPU, in.Addr, in.Size, pushLevel(in.PushLevel), ready)
 		case in.Kind == isa.Barrier:
 			done = clock.Max(ready, e.maxComp).Add(c.cycle)
@@ -238,6 +278,7 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 		c.retire[slot] = e.lastRetire
 		e.issued++
 		e.stats.Instructions++
+		c.obs.instructions.Inc()
 		e.i++
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"heteromem/internal/clock"
+	"heteromem/internal/obs"
 )
 
 // Policy selects the request scheduling policy.
@@ -151,6 +152,29 @@ type Controller struct {
 	cfg      Config
 	channels []channel
 	stats    Stats
+	obs      ctrlObs
+}
+
+// ctrlObs holds the controller's observability instruments under the
+// dram.* namespace; nil instruments make every bump a no-op.
+type ctrlObs struct {
+	requests  *obs.Counter
+	rowHits   *obs.Counter
+	rowMisses *obs.Counter
+	bytes     *obs.Counter
+}
+
+// Instrument registers the controller's metrics (dram.*) with reg. The
+// dram.bytes counter advances by one line per serviced request, so
+// per-epoch deltas divided by the epoch length give achieved bandwidth.
+// A nil registry detaches the instruments.
+func (c *Controller) Instrument(reg *obs.Registry) {
+	c.obs = ctrlObs{
+		requests:  reg.Counter("dram.requests"),
+		rowHits:   reg.Counter("dram.row_hits"),
+		rowMisses: reg.Counter("dram.row_misses"),
+		bytes:     reg.Counter("dram.bytes"),
+	}
 }
 
 // New returns a controller with all banks closed.
@@ -223,6 +247,8 @@ func (c *Controller) service(addr uint64, at clock.Time) clock.Time {
 	ch := &c.channels[chIdx]
 	bk := &ch.banks[bkIdx]
 	c.stats.Requests++
+	c.obs.requests.Inc()
+	c.obs.bytes.Add(uint64(c.cfg.LineBytes))
 
 	start := clock.Max(at, bk.busy)
 	var access, occupancy clock.Duration
@@ -232,10 +258,12 @@ func (c *Controller) service(addr uint64, at clock.Time) clock.Time {
 	}
 	if bk.rowValid && bk.openRow == row {
 		c.stats.RowHits++
+		c.obs.rowHits.Inc()
 		access = c.cfg.TCAS
 		occupancy = ccd
 	} else {
 		c.stats.RowMisses++
+		c.obs.rowMisses.Inc()
 		if bk.rowValid {
 			access = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
 			occupancy = c.cfg.TRP + c.cfg.TRCD + ccd

@@ -16,6 +16,7 @@ import (
 	"heteromem/internal/config"
 	"heteromem/internal/isa"
 	"heteromem/internal/mem"
+	"heteromem/internal/obs"
 	"heteromem/internal/trace"
 )
 
@@ -56,8 +57,41 @@ type Core struct {
 	// accesses into unique cache-line requests (true, the default) or
 	// issue one request per active lane (the ablation configuration).
 	Coalesce bool
+	obs      coreObs
 
 	comp []clock.Time
+}
+
+// coreObs holds the core's observability instruments under the gpu.*
+// namespace; nil (the default) instruments make every bump a no-op.
+type coreObs struct {
+	instructions *obs.Counter
+	branches     *obs.Counter
+	memOps       *obs.Counter
+	lineRequests *obs.Counter
+	swHits       *obs.Counter
+	swMisses     *obs.Counter
+	commOps      *obs.Counter
+	pushOps      *obs.Counter
+	commTimePS   *obs.Counter
+	memLatPS     *obs.Histogram
+}
+
+// Instrument registers the core's metrics (gpu.*) with reg and routes the
+// hot-path bumps to them. A nil registry detaches the instruments.
+func (c *Core) Instrument(reg *obs.Registry) {
+	c.obs = coreObs{
+		instructions: reg.Counter("gpu.instructions"),
+		branches:     reg.Counter("gpu.branches"),
+		memOps:       reg.Counter("gpu.memops"),
+		lineRequests: reg.Counter("gpu.line_requests"),
+		swHits:       reg.Counter("gpu.sw.hits"),
+		swMisses:     reg.Counter("gpu.sw.misses"),
+		commOps:      reg.Counter("gpu.commops"),
+		pushOps:      reg.Counter("gpu.pushops"),
+		commTimePS:   reg.Counter("gpu.commtime_ps"),
+		memLatPS:     reg.Histogram("gpu.memlat_ps"),
+	}
 }
 
 const ringSize = 1 << 16
@@ -147,6 +181,7 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 		switch {
 		case in.Kind == isa.Branch:
 			e.stats.Branches++
+			c.obs.branches.Inc()
 			done = issueAt.Add(c.cycle)
 			// No predictor: the front end stalls until the branch
 			// resolves, plus the refill bubble.
@@ -156,22 +191,28 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 			continue
 		case in.Kind.IsMem():
 			e.stats.MemOps++
+			c.obs.memOps.Inc()
 			done = c.accessMem(in, issueAt, &e.stats)
+			c.obs.memLatPS.Observe(uint64(done.Sub(issueAt)))
 		case in.Kind.IsSoftwareCache():
 			if c.memory.Scratchpad().Resident(in.Addr) {
 				e.stats.SWHits++
+				c.obs.swHits.Inc()
 				done = issueAt.Add(c.swLat)
 			} else {
 				// Data was never placed: the access falls through to the
 				// hardware hierarchy (and is counted so the workload
 				// author can find the placement bug).
 				e.stats.SWMisses++
+				c.obs.swMisses.Inc()
 				done = c.memory.Access(mem.GPU, in.Addr, in.Kind == isa.SWStore, issueAt)
 			}
 		case in.Kind.IsComm():
 			e.stats.CommOps++
+			c.obs.commOps.Inc()
 			d := c.comm(in.Kind, in.Size)
 			e.stats.CommTime += d
+			c.obs.commTimePS.Add(uint64(d))
 			at := clock.Max(issueAt, e.maxComp)
 			done = at.Add(d)
 			e.cur = done
@@ -180,6 +221,7 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 			continue
 		case in.Kind == isa.Push:
 			e.stats.PushOps++
+			c.obs.pushOps.Inc()
 			done = c.memory.Push(mem.GPU, in.Addr, in.Size, pushLevel(in.PushLevel), issueAt)
 		case in.Kind == isa.Barrier:
 			done = clock.Max(issueAt, e.maxComp).Add(c.cycle)
@@ -212,11 +254,14 @@ func (e *Execution) End() (clock.Time, Stats) {
 	return end, st
 }
 
+// record notes instruction i's completion time. It runs exactly once per
+// executed instruction, so it also carries the instruction-counter bump.
 func (e *Execution) record(i int, done clock.Time) {
 	e.c.comp[i%ringSize] = done
 	if done > e.maxComp {
 		e.maxComp = done
 	}
+	e.c.obs.instructions.Inc()
 }
 
 // accessMem times a (possibly SIMD) memory operation issued at issueAt.
@@ -224,6 +269,7 @@ func (c *Core) accessMem(in trace.Inst, issueAt clock.Time, st *Stats) clock.Tim
 	write := in.Kind.IsStore()
 	if !in.Kind.IsSIMD() {
 		st.LineRequests++
+		c.obs.lineRequests.Inc()
 		return c.memory.Access(mem.GPU, in.Addr, write, issueAt)
 	}
 	lanes := in.ActiveLanes()
@@ -238,6 +284,7 @@ func (c *Core) accessMem(in trace.Inst, issueAt clock.Time, st *Stats) clock.Tim
 		var done clock.Time
 		for line := first; ; line += LineBytes {
 			st.LineRequests++
+			c.obs.lineRequests.Inc()
 			if d := c.memory.Access(mem.GPU, line, write, issueAt); d > done {
 				done = d
 			}
@@ -257,6 +304,7 @@ func (c *Core) accessMem(in trace.Inst, issueAt clock.Time, st *Stats) clock.Tim
 	var done clock.Time
 	for l := 0; l < lanes; l++ {
 		st.LineRequests++
+		c.obs.lineRequests.Inc()
 		addr := in.Addr + uint64(l)*laneBytes
 		at := issueAt.Add(clock.Duration(l) * c.cycle)
 		if d := c.memory.Access(mem.GPU, addr, write, at); d > done {

@@ -14,6 +14,7 @@ import (
 	"heteromem/internal/coherence"
 	"heteromem/internal/dram"
 	"heteromem/internal/noc"
+	"heteromem/internal/obs"
 )
 
 // PU identifies a processing unit attached to the hierarchy.
@@ -202,10 +203,54 @@ type Hierarchy struct {
 	scratch *cache.Scratchpad
 	dir     *coherence.Directory
 	stats   Stats
+	obs     hierObs
 
 	// reqBytes/respBytes size the ring control and data messages.
 	reqBytes  int
 	lineBytes int
+}
+
+// hierObs holds the hierarchy's observability instruments under the
+// mem.* namespace; nil instruments make every bump a no-op.
+type hierObs struct {
+	accesses     [NumPUs]*obs.Counter
+	l1Hits       [NumPUs]*obs.Counter
+	l2Hits       *obs.Counter
+	l3Hits       [NumPUs]*obs.Counter
+	dramFills    [NumPUs]*obs.Counter
+	writebacks   *obs.Counter
+	pushes       *obs.Counter
+	pushBytes    *obs.Counter
+	coherenceOps *obs.Counter
+	mshrOut      [NumPUs]*obs.Gauge
+}
+
+// Instrument registers the hierarchy's metrics (mem.*) with reg and
+// cascades to its components: each cache under "mem.<name>", the ring
+// (noc.*) and the memory controllers (dram.*). A nil registry detaches
+// everything.
+func (h *Hierarchy) Instrument(reg *obs.Registry) {
+	for p := PU(0); p < NumPUs; p++ {
+		h.obs.accesses[p] = reg.Counter("mem.accesses." + p.String())
+		h.obs.l1Hits[p] = reg.Counter("mem.l1.hits." + p.String())
+		h.obs.l3Hits[p] = reg.Counter("mem.l3.hits." + p.String())
+		h.obs.dramFills[p] = reg.Counter("mem.dram_fills." + p.String())
+		h.obs.mshrOut[p] = reg.Gauge("mem.mshr.outstanding." + p.String())
+	}
+	h.obs.l2Hits = reg.Counter("mem.l2.hits")
+	h.obs.writebacks = reg.Counter("mem.writebacks")
+	h.obs.pushes = reg.Counter("mem.pushes")
+	h.obs.pushBytes = reg.Counter("mem.push_bytes")
+	h.obs.coherenceOps = reg.Counter("mem.coherence.ops")
+
+	h.cpuL1d.Instrument(reg, "mem."+h.cfg.CPUL1D.Name)
+	h.cpuL2.Instrument(reg, "mem."+h.cfg.CPUL2.Name)
+	h.gpuL1d.Instrument(reg, "mem."+h.cfg.GPUL1D.Name)
+	for i, t := range h.l3 {
+		t.Instrument(reg, fmt.Sprintf("mem.l3.t%d", i))
+	}
+	h.ring.Instrument(reg)
+	h.dram.Instrument(reg)
 }
 
 // New assembles a hierarchy from cfg.
@@ -291,11 +336,13 @@ func (h *Hierarchy) puStop(pu PU) int {
 // returns its completion time. Write-allocate, write-back at every level.
 func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock.Time {
 	h.stats.Accesses[pu]++
+	h.obs.accesses[pu].Inc()
 	switch pu {
 	case CPU:
 		t := now.Add(h.cfg.CPUL1DLat)
 		if h.cpuL1d.Lookup(addr, write) {
 			h.stats.L1Hits[CPU]++
+			h.obs.l1Hits[CPU].Inc()
 			if write {
 				t = h.coherenceFee(CPU, addr, true, t)
 			}
@@ -304,6 +351,7 @@ func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock
 		t = t.Add(h.cfg.CPUL2Lat)
 		if h.cpuL2.Lookup(addr, write) {
 			h.stats.L2Hits++
+			h.obs.l2Hits.Inc()
 			h.fillInto(h.cpuL1d, addr, write)
 			return t
 		}
@@ -312,6 +360,7 @@ func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock
 		t := now.Add(h.cfg.GPUL1DLat)
 		if h.gpuL1d.Lookup(addr, write) {
 			h.stats.L1Hits[GPU]++
+			h.obs.l1Hits[GPU].Inc()
 			if write {
 				t = h.coherenceFee(GPU, addr, true, t)
 			}
@@ -344,9 +393,10 @@ func (h *Hierarchy) sharedAccess(pu PU, addr uint64, write bool, t clock.Time) c
 	at = h.coherenceFee(pu, addr, write, at)
 	if h.l3[tile].Lookup(addr, write) {
 		h.stats.L3Hits[pu]++
+		h.obs.l3Hits[pu].Inc()
 		done := h.ring.Send(l3s, src, h.lineBytes+h.reqBytes, at)
 		h.fillPrivate(pu, addr, write)
-		return h.mshr[pu].Allocate(line, t, done)
+		return h.allocateMSHR(pu, line, t, done)
 	}
 
 	// L3 miss: forward to the memory controller stop, access DRAM, and
@@ -354,11 +404,23 @@ func (h *Hierarchy) sharedAccess(pu PU, addr uint64, write bool, t clock.Time) c
 	at = h.ring.Send(l3s, h.cfg.mcStop(), h.reqBytes, at)
 	at = h.dram.Submit(addr, at)
 	h.stats.DRAMFills[pu]++
+	h.obs.dramFills[pu].Inc()
 	at = h.ring.Send(h.cfg.mcStop(), l3s, h.lineBytes+h.reqBytes, at)
 	h.fillL3(tile, addr, false, write, at)
 	done := h.ring.Send(l3s, src, h.lineBytes+h.reqBytes, at)
 	h.fillPrivate(pu, addr, write)
-	return h.mshr[pu].Allocate(line, t, done)
+	return h.allocateMSHR(pu, line, t, done)
+}
+
+// allocateMSHR registers the primary miss and, when instrumented, tracks
+// the outstanding-miss level. The InFlight walk only runs with a live
+// gauge, so the uninstrumented path pays a single nil check.
+func (h *Hierarchy) allocateMSHR(pu PU, line uint64, t, done clock.Time) clock.Time {
+	ready := h.mshr[pu].Allocate(line, t, done)
+	if h.obs.mshrOut[pu] != nil {
+		h.obs.mshrOut[pu].Set(uint64(h.mshr[pu].InFlight(t)))
+	}
+	return ready
 }
 
 // fillPrivate installs the line into pu's private levels, notifying the
@@ -382,6 +444,7 @@ func (h *Hierarchy) noteEviction(pu PU, ev cache.Eviction, alsoHolds *cache.Cach
 	}
 	if ev.Dirty {
 		h.stats.Writebacks++
+		h.obs.writebacks.Inc()
 	}
 	if h.dir == nil {
 		return
@@ -405,6 +468,7 @@ func (h *Hierarchy) coherenceFee(pu PU, addr uint64, write bool, t clock.Time) c
 		return t
 	}
 	h.stats.CoherenceOps++
+	h.obs.coherenceOps.Inc()
 	other := CPU
 	if pu == CPU {
 		other = GPU
@@ -439,6 +503,7 @@ func (h *Hierarchy) fillInto(c *cache.Cache, addr uint64, dirty bool) {
 	ev := c.Fill(addr, false, dirty)
 	if ev.Valid && ev.Dirty {
 		h.stats.Writebacks++
+		h.obs.writebacks.Inc()
 	}
 }
 
@@ -448,6 +513,7 @@ func (h *Hierarchy) fillL3(tile int, addr uint64, explicit, dirty bool, now cloc
 	ev := h.l3[tile].Fill(addr, explicit, dirty)
 	if ev.Valid && ev.Dirty {
 		h.stats.Writebacks++
+		h.obs.writebacks.Inc()
 		h.dram.Submit(ev.Addr, now)
 	}
 }
@@ -460,6 +526,8 @@ func (h *Hierarchy) fillL3(tile int, addr uint64, explicit, dirty bool, now cloc
 func (h *Hierarchy) Push(pu PU, addr uint64, size uint32, level Level, now clock.Time) clock.Time {
 	h.stats.Pushes++
 	h.stats.PushBytes += uint64(size)
+	h.obs.pushes.Inc()
+	h.obs.pushBytes.Add(uint64(size))
 	if size == 0 {
 		return now
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"heteromem/internal/clock"
+	"heteromem/internal/obs"
 )
 
 // Config describes the ring geometry and timing.
@@ -55,7 +56,34 @@ type Ring struct {
 	cw    []*clock.Resource
 	ccw   []*clock.Resource
 	stats Stats
+	obs   ringObs
 }
+
+// ringObs holds the ring's observability instruments under the noc.*
+// namespace; nil instruments make every bump a no-op.
+type ringObs struct {
+	messages   *obs.Counter
+	hops       *obs.Counter
+	bytes      *obs.Counter
+	linkBusyPS *obs.Counter
+}
+
+// Instrument registers the ring's metrics (noc.*) with reg. The
+// noc.link_busy_ps counter accumulates link occupancy (serialisation time
+// times links traversed), so per-epoch deltas divided by epoch length and
+// link count give ring-link utilisation. A nil registry detaches the
+// instruments.
+func (r *Ring) Instrument(reg *obs.Registry) {
+	r.obs = ringObs{
+		messages:   reg.Counter("noc.messages"),
+		hops:       reg.Counter("noc.hops"),
+		bytes:      reg.Counter("noc.bytes"),
+		linkBusyPS: reg.Counter("noc.link_busy_ps"),
+	}
+}
+
+// Links returns the number of directed links (two per stop pair).
+func (r *Ring) Links() int { return 2 * r.cfg.Stops }
 
 // New returns a ring with idle links.
 func New(cfg Config) (*Ring, error) {
@@ -141,6 +169,10 @@ func (r *Ring) Send(from, to, bytes int, now clock.Time) clock.Time {
 	r.stats.Messages++
 	r.stats.TotalHops += uint64(hops)
 	r.stats.Bytes += uint64(bytes)
+	r.obs.messages.Inc()
+	r.obs.hops.Add(uint64(hops))
+	r.obs.bytes.Add(uint64(bytes))
+	r.obs.linkBusyPS.Add(uint64(ser) * uint64(hops))
 	return t.Add(ser)
 }
 

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BenchEntry is one headline benchmark number.
+type BenchEntry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// BenchReport collects headline numbers from a benchmark run and writes
+// them to BENCH_<date>.json, seeding the repository's performance
+// trajectory: successive PRs dump fresh files and diff them.
+type BenchReport struct {
+	Date    string       `json:"date"`
+	GoOS    string       `json:"goos,omitempty"`
+	GoArch  string       `json:"goarch,omitempty"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// NewBenchReport returns an empty report stamped with date (expected
+// YYYY-MM-DD, used in the output file name).
+func NewBenchReport(date string) *BenchReport {
+	return &BenchReport{Date: date}
+}
+
+// Add records one entry; a repeated name overwrites the earlier value so
+// a re-run benchmark keeps its latest number.
+func (r *BenchReport) Add(name string, value float64, unit string) {
+	if r == nil {
+		return
+	}
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			r.Entries[i] = BenchEntry{Name: name, Value: value, Unit: unit}
+			return
+		}
+	}
+	r.Entries = append(r.Entries, BenchEntry{Name: name, Value: value, Unit: unit})
+}
+
+// WriteFile writes the report as BENCH_<date>.json under dir and returns
+// the path. Entries are sorted by name for diff-friendly output.
+func (r *BenchReport) WriteFile(dir string) (string, error) {
+	sort.Slice(r.Entries, func(i, j int) bool { return r.Entries[i].Name < r.Entries[j].Name })
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.Date+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

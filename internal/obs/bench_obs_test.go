@@ -1,0 +1,37 @@
+package obs
+
+import "testing"
+
+// The disabled path must be a single predictable branch: these two
+// benches quantify the nil-sink cost against a live counter.
+
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncLive(b *testing.B) {
+	c := NewRegistry().Counter("bench.counter")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatalf("counter = %d, want %d", c.Value(), b.N)
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkHistogramObserveLive(b *testing.B) {
+	h := NewRegistry().Histogram("bench.hist")
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchReportWriteFile(t *testing.T) {
+	r := NewBenchReport("2026-08-05")
+	r.GoOS, r.GoArch = "linux", "amd64"
+	r.Add("sim.reduction.insts_per_sec", 1.5e7, "insts/s")
+	r.Add("sim.reduction.total_us", 120, "us")
+	r.Add("sim.reduction.insts_per_sec", 2e7, "insts/s") // overwrite keeps latest
+
+	dir := t.TempDir()
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_2026-08-05.json" {
+		t.Fatalf("path = %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BenchReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Date != "2026-08-05" || len(got.Entries) != 2 {
+		t.Fatalf("report = %+v", got)
+	}
+	// Entries are sorted by name.
+	if got.Entries[0].Name != "sim.reduction.insts_per_sec" || got.Entries[0].Value != 2e7 {
+		t.Fatalf("entry 0 = %+v", got.Entries[0])
+	}
+	if got.Entries[1].Name != "sim.reduction.total_us" {
+		t.Fatalf("entry 1 = %+v", got.Entries[1])
+	}
+}

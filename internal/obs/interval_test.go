@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSamplerDeltaMath(t *testing.T) {
+	r := NewRegistry()
+	insts := r.Counter("cpu.instructions")
+	mshr := r.Gauge("mem.mshr.cpu")
+
+	s := NewSampler(r, 1000)
+	insts.Add(10)
+	mshr.Set(4)
+	s.Advance(500) // no boundary crossed yet
+	if len(s.Samples()) != 0 {
+		t.Fatalf("premature sample: %+v", s.Samples())
+	}
+	s.Advance(1000) // first epoch [0,1000)
+	insts.Add(25)
+	s.Advance(3500) // epochs [1000,2000) and [2000,3000)
+	insts.Add(7)
+	s.Finish(3600) // partial tail epoch [3000,3600)
+
+	samples := s.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4: %+v", len(samples), samples)
+	}
+	wantDeltas := []uint64{10, 25, 0, 7}
+	var sum uint64
+	for i, sm := range samples {
+		if sm.Epoch != i {
+			t.Fatalf("sample %d has epoch %d", i, sm.Epoch)
+		}
+		if got := sm.Delta("cpu.instructions"); got != wantDeltas[i] {
+			t.Fatalf("epoch %d delta = %d, want %d", i, got, wantDeltas[i])
+		}
+		sum += sm.Delta("cpu.instructions")
+	}
+	if sum != insts.Value() {
+		t.Fatalf("delta sum %d != counter value %d", sum, insts.Value())
+	}
+	if samples[0].StartPS != 0 || samples[0].EndPS != 1000 {
+		t.Fatalf("epoch 0 bounds [%d,%d)", samples[0].StartPS, samples[0].EndPS)
+	}
+	if samples[3].StartPS != 3000 || samples[3].EndPS != 3600 {
+		t.Fatalf("tail epoch bounds [%d,%d), want [3000,3600)", samples[3].StartPS, samples[3].EndPS)
+	}
+	if samples[0].Gauges["mem.mshr.cpu"] != 4 {
+		t.Fatalf("gauge level = %d, want 4", samples[0].Gauges["mem.mshr.cpu"])
+	}
+
+	// Finish is idempotent; Advance after Finish is ignored.
+	insts.Add(100)
+	s.Advance(10000)
+	s.Finish(10000)
+	if len(s.Samples()) != 4 {
+		t.Fatalf("sampler emitted after Finish: %d samples", len(s.Samples()))
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cpu.instructions")
+	s := NewSampler(r, 100)
+	s.AddDerived("ipc.fake", func(sm Sample) float64 {
+		return float64(sm.Delta("cpu.instructions")) / float64(sm.DT())
+	})
+	c.Add(50)
+	s.Advance(100)
+	c.Add(30)
+	s.Finish(150)
+
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d CSV lines, want 3:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "epoch,start_ps,end_ps,cpu.instructions,ipc.fake" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,0,100,50,0.5" {
+		t.Fatalf("row 0 = %q", lines[1])
+	}
+	if lines[2] != "1,100,150,30,0.6" {
+		t.Fatalf("row 1 = %q", lines[2])
+	}
+}
+
+func TestSamplerFinishWithNoActivity(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	s := NewSampler(r, 1000)
+	s.Finish(0)
+	if len(s.Samples()) != 0 {
+		t.Fatalf("empty run must produce no samples, got %+v", s.Samples())
+	}
+}

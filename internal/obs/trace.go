@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Tracer records structured simulation events in the Chrome trace-event
+// format (the JSON-array flavour), so a run opens directly in Perfetto or
+// chrome://tracing. Spans ("X" complete events) show phases and
+// transfers; instants ("i") mark point events like page faults and
+// ownership operations; counter events ("C") plot numeric series.
+//
+// Timestamps are simulated picoseconds; the trace-event format counts in
+// microseconds, so the writer scales by 1e-6 (fractional microseconds are
+// allowed by the format and preserved by Perfetto).
+//
+// Tracks are (pid, tid) pairs; the simulator registers one tid per
+// hardware unit (sim, cpu, gpu, fabric) via SetTrack, and the writer
+// emits the matching thread_name metadata so the UI labels the rows.
+type Tracer struct {
+	events []traceEvent
+	tracks map[int]string
+}
+
+// Track ids the simulator uses. Callers may register additional tracks.
+const (
+	TrackSim    = 0
+	TrackCPU    = 1
+	TrackGPU    = 2
+	TrackFabric = 3
+)
+
+const tracePID = 1
+
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns an empty tracer with the default track names set.
+func NewTracer() *Tracer {
+	t := &Tracer{tracks: map[int]string{}}
+	t.SetTrack(TrackSim, "sim")
+	t.SetTrack(TrackCPU, "cpu")
+	t.SetTrack(TrackGPU, "gpu")
+	t.SetTrack(TrackFabric, "fabric")
+	return t
+}
+
+// SetTrack names a track (tid). No-op on a nil tracer.
+func (t *Tracer) SetTrack(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.tracks[tid] = name
+}
+
+func psToUS(ps uint64) float64 { return float64(ps) / 1e6 }
+
+// Span records a complete event covering [startPS, endPS] on the track.
+// No-op on a nil tracer.
+func (t *Tracer) Span(tid int, name, category string, startPS, endPS uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	dur := psToUS(endPS) - psToUS(startPS)
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: category, Ph: "X", TS: psToUS(startPS), Dur: &dur,
+		PID: tracePID, TID: tid, Args: args,
+	})
+}
+
+// Instant records a point event at tsPS on the track (thread-scoped).
+// No-op on a nil tracer.
+func (t *Tracer) Instant(tid int, name, category string, tsPS uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: category, Ph: "i", TS: psToUS(tsPS),
+		PID: tracePID, TID: tid, Scope: "t", Args: args,
+	})
+}
+
+// Counter records a counter sample at tsPS: Perfetto renders each named
+// counter as its own numeric track. No-op on a nil tracer.
+func (t *Tracer) Counter(name string, tsPS uint64, value float64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Ph: "C", TS: psToUS(tsPS),
+		PID: tracePID, TID: TrackSim, Args: map[string]any{"value": value},
+	})
+}
+
+// Len returns the number of recorded events (metadata excluded).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns summaries of the recorded events, for tests and tools.
+type EventSummary struct {
+	Name string
+	Ph   string
+	TID  int
+	TSPS uint64
+}
+
+// Summaries lists (name, phase-type, track, timestamp) for every recorded
+// event in emission order.
+func (t *Tracer) Summaries() []EventSummary {
+	if t == nil {
+		return nil
+	}
+	out := make([]EventSummary, len(t.events))
+	for i, e := range t.events {
+		out[i] = EventSummary{Name: e.Name, Ph: e.Ph, TID: e.TID, TSPS: uint64(e.TS * 1e6)}
+	}
+	return out
+}
+
+// WriteJSON writes the trace in the Chrome trace-event JSON-object
+// format: process/thread metadata first, then the events in emission
+// order. The output is deterministic for a deterministic simulation.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	all := make([]traceEvent, 0, len(t.events)+1+len(t.tracks))
+	all = append(all, traceEvent{
+		Name: "process_name", Ph: "M", PID: tracePID, TID: 0,
+		Args: map[string]any{"name": "hetsim"},
+	})
+	tids := make([]int, 0, len(t.tracks))
+	for tid := range t.tracks {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		all = append(all, traceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
+			Args: map[string]any{"name": t.tracks[tid]},
+		})
+	}
+	all = append(all, t.events...)
+	doc := struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}{DisplayTimeUnit: "ns", TraceEvents: all}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

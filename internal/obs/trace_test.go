@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func buildTestTrace() *Tracer {
+	tr := NewTracer()
+	tr.Span(TrackSim, "sequential", "phase", 0, 2_000_000, map[string]any{"phase": 0})
+	tr.Span(TrackFabric, "transfer", "comm", 2_000_000, 5_500_000, map[string]any{"bytes": 4096})
+	tr.Instant(TrackGPU, "lib-pf", "fault", 5_500_000, nil)
+	tr.Instant(TrackCPU, "release", "ownership", 2_000_000, nil)
+	tr.Counter("dram.bw_gbps", 5_500_000, 10.4)
+	return tr
+}
+
+func TestTraceGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := buildTestTrace().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("trace JSON differs from golden (re-run with -update to refresh):\ngot:\n%s\nwant:\n%s", b.Bytes(), want)
+	}
+}
+
+func TestTraceIsValidChromeFormat(t *testing.T) {
+	var b bytes.Buffer
+	if err := buildTestTrace().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// Metadata (process + 4 default tracks) plus the 5 recorded events.
+	if len(doc.TraceEvents) != 10 {
+		t.Fatalf("got %d events, want 10", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+		if _, ok := e["ts"]; !ok && ph != "M" {
+			t.Fatalf("event missing ts: %v", e)
+		}
+	}
+	if phases["M"] != 5 || phases["X"] != 2 || phases["i"] != 2 || phases["C"] != 1 {
+		t.Fatalf("phase mix = %v", phases)
+	}
+	// The span's timestamp must be in microseconds: 2_000_000 ps = 2 us.
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "transfer" {
+			if ts := e["ts"].(float64); ts != 2 {
+				t.Fatalf("transfer ts = %v us, want 2", ts)
+			}
+			if dur := e["dur"].(float64); dur != 3.5 {
+				t.Fatalf("transfer dur = %v us, want 3.5", dur)
+			}
+		}
+	}
+}
+
+func TestTracerSummaries(t *testing.T) {
+	tr := buildTestTrace()
+	sums := tr.Summaries()
+	if len(sums) != 5 {
+		t.Fatalf("got %d summaries, want 5", len(sums))
+	}
+	if sums[0].Name != "sequential" || sums[0].Ph != "X" || sums[0].TID != TrackSim {
+		t.Fatalf("summary 0 = %+v", sums[0])
+	}
+	if sums[2].Name != "lib-pf" || sums[2].Ph != "i" || sums[2].TID != TrackGPU || sums[2].TSPS != 5_500_000 {
+		t.Fatalf("summary 2 = %+v", sums[2])
+	}
+}

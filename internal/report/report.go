@@ -6,6 +6,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 
 	"heteromem/internal/clock"
 )
@@ -37,8 +38,10 @@ func (t *Table) String() string {
 	widths := make([]int, cols)
 	measure := func(row []string) {
 		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			// Count runes, not bytes: cells may hold non-ASCII (µs
+			// durations, Greek letters) and byte widths misalign them.
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -51,7 +54,7 @@ func (t *Table) String() string {
 	if t.Title != "" {
 		b.WriteString(t.Title)
 		b.WriteByte('\n')
-		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteString(strings.Repeat("=", utf8.RuneCountInString(t.Title)))
 		b.WriteByte('\n')
 	}
 	writeRow := func(row []string) {
@@ -86,10 +89,11 @@ func (t *Table) String() string {
 }
 
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }
 
 // Bar renders a horizontal bar of the given fractional length (0..1)

@@ -3,6 +3,7 @@ package report
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"heteromem/internal/clock"
 )
@@ -79,5 +80,32 @@ func TestFormatters(t *testing.T) {
 	}
 	if Dur(1500*clock.Nanosecond) != "1.500us" {
 		t.Errorf("Dur = %q", Dur(1500*clock.Nanosecond))
+	}
+}
+
+func TestTableRuneAlignment(t *testing.T) {
+	tbl := Table{Headers: []string{"name", "value"}}
+	tbl.AddRow("µ-bench", "1")   // multi-byte rune in the name cell
+	tbl.AddRow("plain", "22222") // longer ASCII cell sets the width
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// The value column must start at the same on-screen (rune) offset in
+	// every row; byte-based padding shifts the µ-bench row left by one.
+	valCol := strings.Index(lines[0], "value")
+	for _, row := range []string{lines[2], lines[3]} {
+		runes := []rune(row)
+		if len(runes) < valCol {
+			t.Fatalf("row %q shorter than value column %d", row, valCol)
+		}
+		cell := strings.TrimRight(string(runes[valCol:]), " ")
+		if cell != "1" && cell != "22222" {
+			t.Errorf("value column misaligned in %q: got cell %q\n%s", row, cell, out)
+		}
+	}
+	if w := utf8.RuneCountInString(lines[1]); w != utf8.RuneCountInString(strings.TrimRight(lines[0], " ")) {
+		t.Errorf("separator width %d does not match header width", w)
 	}
 }

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"heteromem/internal/obs"
+	"heteromem/internal/systems"
+	"heteromem/internal/workload"
+)
+
+// runInstrumented runs kernel on sys with the full observability stack
+// attached and returns the result plus the sinks.
+func runInstrumented(t *testing.T, sys systems.System, kernel string, intervalPS uint64) (Result, *obs.Registry, *obs.Sampler, *obs.Tracer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	sp := obs.NewSampler(reg, intervalPS)
+	tr := obs.NewTracer()
+	s, err := NewWithOptions(sys, Options{Metrics: reg, Sampler: sp, Tracer: tr})
+	if err != nil {
+		t.Fatalf("NewWithOptions: %v", err)
+	}
+	res, err := s.Run(workload.MustGenerate(kernel))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, reg, sp, tr
+}
+
+// TestIntervalDeltasSumToResult is the acceptance check: summing the
+// per-epoch instruction deltas over the whole time series must reproduce
+// the final aggregate instruction counts exactly — the Finish tail epoch
+// guarantees no activity is lost.
+func TestIntervalDeltasSumToResult(t *testing.T) {
+	for _, sys := range []systems.System{systems.LRB(), systems.CPUGPU(), systems.GMAC()} {
+		t.Run(sys.Name, func(t *testing.T) {
+			res, reg, sp, _ := runInstrumented(t, sys, "reduction", 30_000_000) // 30 us epochs
+			var cpuSum, gpuSum uint64
+			for _, sm := range sp.Samples() {
+				cpuSum += sm.Delta("cpu.instructions")
+				gpuSum += sm.Delta("gpu.instructions")
+			}
+			if want := res.CPU.Instructions; cpuSum != want {
+				t.Errorf("cpu.instructions deltas sum to %d, Result has %d", cpuSum, want)
+			}
+			if want := res.GPU.Instructions; gpuSum != want {
+				t.Errorf("gpu.instructions deltas sum to %d, Result has %d", gpuSum, want)
+			}
+			if got := reg.CounterValue("cpu.instructions"); got != res.CPU.Instructions {
+				t.Errorf("registry cpu.instructions = %d, Result has %d", got, res.CPU.Instructions)
+			}
+			if len(sp.Samples()) < 2 {
+				t.Errorf("expected multiple epochs, got %d", len(sp.Samples()))
+			}
+		})
+	}
+}
+
+// TestMetricsMatchResultStats cross-checks registry counters against the
+// independently maintained Result statistics.
+func TestMetricsMatchResultStats(t *testing.T) {
+	res, reg, _, _ := runInstrumented(t, systems.LRB(), "reduction", 1_000_000_000)
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		{"cpu.memops", res.CPU.MemOps},
+		{"gpu.memops", res.GPU.MemOps},
+		{"gpu.line_requests", res.GPU.LineRequests},
+		{"mem.accesses.cpu", res.Mem.Accesses[0]},
+		{"mem.accesses.gpu", res.Mem.Accesses[1]},
+		{"mem.l2.hits", res.Mem.L2Hits},
+		{"noc.messages", res.Ring.Messages},
+		{"dram.requests", res.DRAM.Requests},
+		{"comm.transfers", res.Fabric.Transfers},
+		{"comm.bytes", res.Fabric.Bytes},
+		{"addrspace.first_touch_faults", res.Space.FirstTouchFaults},
+		{"addrspace.ownership_changes", res.Space.OwnershipChanges},
+	}
+	for _, c := range checks {
+		if got := reg.CounterValue(c.name); got != c.want {
+			t.Errorf("%s = %d, Result stats have %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestTraceContents runs reduction on LRB and checks the trace holds the
+// acceptance-criteria events: phase spans plus fault and ownership
+// instants, and that it serialises to valid Chrome trace-event JSON.
+func TestTraceContents(t *testing.T) {
+	_, _, _, tr := runInstrumented(t, systems.LRB(), "reduction", 1_000_000_000)
+	byName := map[string]int{}
+	byPh := map[string]int{}
+	for _, e := range tr.Summaries() {
+		byName[e.Name]++
+		byPh[e.Ph]++
+	}
+	for _, want := range []string{
+		"phase0.transfer", "phase1.parallel",
+		"lib-pf", "acquire-ownership", "release-ownership", "cache-flush",
+		"transfer.h2d",
+	} {
+		if byName[want] == 0 {
+			t.Errorf("trace missing event %q (have %v)", want, byName)
+		}
+	}
+	if byPh["X"] == 0 || byPh["i"] == 0 {
+		t.Errorf("trace needs spans and instants, got phases %v", byPh)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Errorf("trace JSON missing traceEvents array")
+	}
+}
+
+// TestIntervalCSV checks the CSV export parses, carries the derived
+// columns, and its cpu.instructions column sums to the aggregate.
+func TestIntervalCSV(t *testing.T) {
+	res, _, sp, _ := runInstrumented(t, systems.LRB(), "reduction", 30_000_000)
+	var buf bytes.Buffer
+	if err := sp.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parsing CSV: %v", err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("expected header plus multiple epochs, got %d rows", len(rows))
+	}
+	col := -1
+	for i, name := range rows[0] {
+		if name == "cpu.instructions" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("no cpu.instructions column in %v", rows[0])
+	}
+	for _, want := range []string{"ipc.cpu", "ipc.gpu", "l2.miss_rate", "l3.miss_rate", "dram.bw_gbs", "noc.util"} {
+		found := false
+		for _, name := range rows[0] {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("derived column %q missing from header %v", want, rows[0])
+		}
+	}
+	var sum uint64
+	for _, row := range rows[1:] {
+		v, err := strconv.ParseUint(row[col], 10, 64)
+		if err != nil {
+			t.Fatalf("bad delta %q: %v", row[col], err)
+		}
+		sum += v
+	}
+	if sum != res.CPU.Instructions {
+		t.Errorf("CSV cpu.instructions sums to %d, Result has %d", sum, res.CPU.Instructions)
+	}
+}
+
+// TestUninstrumentedRunUnchanged checks that attaching observability does
+// not perturb simulated timing: the model must be measurement-invariant.
+func TestUninstrumentedRunUnchanged(t *testing.T) {
+	plain := MustNew(systems.LRB())
+	resPlain, err := plain.Run(workload.MustGenerate("reduction"))
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	resObs, _, _, _ := runInstrumented(t, systems.LRB(), "reduction", 30_000_000)
+	if resPlain.Total() != resObs.Total() {
+		t.Errorf("instrumentation changed timing: plain %v, instrumented %v", resPlain.Total(), resObs.Total())
+	}
+	if resPlain.CPU.Instructions != resObs.CPU.Instructions {
+		t.Errorf("instrumentation changed instruction count: %d vs %d",
+			resPlain.CPU.Instructions, resObs.CPU.Instructions)
+	}
+}

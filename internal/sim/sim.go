@@ -19,6 +19,7 @@ import (
 	"heteromem/internal/locality"
 	"heteromem/internal/mem"
 	"heteromem/internal/noc"
+	"heteromem/internal/obs"
 	"heteromem/internal/systems"
 	"heteromem/internal/trace"
 	"heteromem/internal/workload"
@@ -86,6 +87,20 @@ type Options struct {
 	// injected ahead of execution (Section II-B / V-D). Nil runs fully
 	// implicit management.
 	Locality *locality.Scheme
+
+	// Metrics attaches an observability registry: every component
+	// registers its counters under its namespace (cpu.*, gpu.*, mem.*,
+	// noc.*, dram.*, comm.*, addrspace.*) and bumps them as it runs. Nil
+	// leaves the hot path uninstrumented.
+	Metrics *obs.Registry
+	// Sampler snapshots Metrics at fixed simulated-time intervals,
+	// building the per-epoch time series. Must be built over the same
+	// registry as Metrics. The simulator registers the standard derived
+	// columns (IPC, miss rates, DRAM bandwidth, ring utilisation) on it.
+	Sampler *obs.Sampler
+	// Tracer records phase/transfer spans and programming-model instants
+	// in Chrome trace-event form.
+	Tracer *obs.Tracer
 }
 
 // Simulator runs kernels on one system configuration. A Simulator is
@@ -111,6 +126,12 @@ type Simulator struct {
 	asyncReady clock.Time
 	// scheme is the locality-management scheme to apply, if any.
 	scheme *locality.Scheme
+
+	// Observability sinks; all nil-safe, so an uninstrumented run pays
+	// one predictable branch per bump.
+	metrics *obs.Registry
+	sampler *obs.Sampler
+	tracer  *obs.Tracer
 }
 
 // New returns a simulator for the system with the Table II baseline.
@@ -148,7 +169,72 @@ func NewWithOptions(sys systems.System, opts Options) (*Simulator, error) {
 		}
 		s.scheme = opts.Locality
 	}
+	if opts.Metrics != nil {
+		s.metrics = opts.Metrics
+		s.hier.Instrument(opts.Metrics)
+		s.space.Instrument(opts.Metrics)
+		s.fabric.Instrument(opts.Metrics)
+		s.cpuCore.Instrument(opts.Metrics)
+		s.gpuCore.Instrument(opts.Metrics)
+	}
+	s.sampler = opts.Sampler
+	s.tracer = opts.Tracer
+	s.registerDerived()
 	return s, nil
+}
+
+// registerDerived adds the standard per-epoch derived columns to the
+// sampler: they need configuration knowledge (clock periods, tile and
+// link counts) that only the simulator has.
+func (s *Simulator) registerDerived() {
+	if s.sampler == nil {
+		return
+	}
+	cpuCycle := float64(config.BaselineCPU().Domain().PeriodPS())
+	gpuCycle := float64(config.BaselineGPU().Domain().PeriodPS())
+	ipc := func(counter string, cycle float64) func(obs.Sample) float64 {
+		return func(sm obs.Sample) float64 {
+			if sm.DT() == 0 {
+				return 0
+			}
+			return float64(sm.Delta(counter)) * cycle / float64(sm.DT())
+		}
+	}
+	s.sampler.AddDerived("ipc.cpu", ipc("cpu.instructions", cpuCycle))
+	s.sampler.AddDerived("ipc.gpu", ipc("gpu.instructions", gpuCycle))
+	s.sampler.AddDerived("l2.miss_rate", func(sm obs.Sample) float64 {
+		h, m := sm.Delta("mem.cpu.l2.hits"), sm.Delta("mem.cpu.l2.misses")
+		if h+m == 0 {
+			return 0
+		}
+		return float64(m) / float64(h+m)
+	})
+	tiles := s.hier.Config().L3Tiles
+	s.sampler.AddDerived("l3.miss_rate", func(sm obs.Sample) float64 {
+		var h, m uint64
+		for t := 0; t < tiles; t++ {
+			h += sm.Delta(fmt.Sprintf("mem.l3.t%d.hits", t))
+			m += sm.Delta(fmt.Sprintf("mem.l3.t%d.misses", t))
+		}
+		if h+m == 0 {
+			return 0
+		}
+		return float64(m) / float64(h+m)
+	})
+	s.sampler.AddDerived("dram.bw_gbs", func(sm obs.Sample) float64 {
+		if sm.DT() == 0 {
+			return 0
+		}
+		// bytes/ps * 1e12 = bytes/s; /1e9 = GB/s.
+		return float64(sm.Delta("dram.bytes")) * 1000 / float64(sm.DT())
+	})
+	links := float64(s.hier.Ring().Links())
+	s.sampler.AddDerived("noc.util", func(sm obs.Sample) float64 {
+		if sm.DT() == 0 {
+			return 0
+		}
+		return float64(sm.Delta("noc.link_busy_ps")) / (float64(sm.DT()) * links)
+	})
 }
 
 // MustNew is New but panics on configuration error.
@@ -165,6 +251,10 @@ func (s *Simulator) Hierarchy() *mem.Hierarchy { return s.hier }
 
 // Space exposes the address space for inspection.
 func (s *Simulator) Space() *addrspace.Space { return s.space }
+
+// Metrics returns the attached observability registry (nil when the run
+// is uninstrumented).
+func (s *Simulator) Metrics() *obs.Registry { return s.metrics }
 
 // allocate registers the program's objects with the address space so the
 // run accounts for the model's page-table maintenance. Regions the model
@@ -202,7 +292,9 @@ func (s *Simulator) Run(p *workload.Program) (Result, error) {
 	}
 	now := clock.Time(0)
 	now = s.applyLocality(p, now, &res)
+	s.sampler.Advance(uint64(now))
 	for i, ph := range p.Phases {
+		phaseStart := now
 		var err error
 		switch ph.Kind {
 		case workload.Sequential:
@@ -217,13 +309,22 @@ func (s *Simulator) Run(p *workload.Program) (Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("sim: %s phase %d on %s: %w", p.Name, i, s.sys.Name, err)
 		}
+		if s.tracer != nil {
+			s.tracer.Span(obs.TrackSim, fmt.Sprintf("phase%d.%s", i, ph.Kind), "phase",
+				uint64(phaseStart), uint64(now), nil)
+		}
+		s.sampler.Advance(uint64(now))
 	}
 	// Final return synchronisation: outstanding asynchronous copies must
 	// land before the program completes.
 	if s.asyncReady > now {
+		if s.tracer != nil {
+			s.tracer.Span(obs.TrackFabric, "async-wait", "comm", uint64(now), uint64(s.asyncReady), nil)
+		}
 		res.Communication += s.asyncReady.Sub(now)
 		now = s.asyncReady
 	}
+	s.sampler.Finish(uint64(now))
 	res.Mem = s.hier.Stats()
 	res.Fabric = s.fabric.Stats()
 	res.FabricName = s.fabric.Name()
@@ -289,14 +390,22 @@ func (s *Simulator) runParallel(ph workload.Phase, now clock.Time, res *Result) 
 			// statistics reflect the handovers.
 			_ = s.space.Acquire(mem.GPU, s.sharedHandle)
 		}
+		s.tracer.Instant(obs.TrackGPU, "acquire-ownership", "model", uint64(start), nil)
 	}
 	for f := 0; f < s.pendingFaults; f++ {
 		prologue = append(prologue, trace.Inst{Kind: isa.LibPageFault})
+	}
+	if s.pendingFaults > 0 && s.tracer != nil {
+		s.tracer.Instant(obs.TrackGPU, "lib-pf", "model", uint64(start),
+			map[string]any{"faults": s.pendingFaults})
 	}
 	res.PageFaults += s.pendingFaults
 	s.pendingFaults = 0
 	if len(prologue) > 0 {
 		end, st := s.gpuCore.Run(prologue, gpuStart)
+		if s.tracer != nil {
+			s.tracer.Span(obs.TrackGPU, "prologue", "model", uint64(gpuStart), uint64(end), nil)
+		}
 		gpuStart = end
 		addGPUStats(&res.GPU, st)
 	}
@@ -319,11 +428,22 @@ func (s *Simulator) runParallel(ph workload.Phase, now clock.Time, res *Result) 
 		default:
 			ce.StepUntil(ge.Now())
 		}
+		if s.sampler != nil {
+			lo := ge.Now()
+			if ce.Now() < lo {
+				lo = ce.Now()
+			}
+			s.sampler.Advance(uint64(lo))
+		}
 	}
 	gpuEnd, gst := ge.End()
 	cpuEnd, cst := ce.End()
 	addCPUStats(&res.CPU, cst)
 	addGPUStats(&res.GPU, gst)
+	if s.tracer != nil {
+		s.tracer.Span(obs.TrackCPU, "cpu.parallel", "compute", uint64(start), uint64(cpuEnd), nil)
+		s.tracer.Span(obs.TrackGPU, "gpu.parallel", "compute", uint64(gpuStart), uint64(gpuEnd), nil)
+	}
 
 	// Communication inside a parallel phase counts only where it is
 	// exposed on the critical path: a GPU-side delay (async-copy wait,
@@ -365,6 +485,8 @@ func (s *Simulator) runTransfer(ph workload.Phase, now clock.Time, res *Result) 
 			if err := s.ownershipToCPU(); err != nil {
 				return now, err
 			}
+			s.tracer.Instant(obs.TrackGPU, "cache-flush", "model", uint64(now), nil)
+			s.tracer.Instant(obs.TrackCPU, "acquire-ownership", "model", uint64(now), nil)
 			end, st := s.cpuCore.Run(trace.Stream{{Kind: isa.APIAcquire}}, now)
 			res.Communication += end.Sub(now)
 			addCPUStats(&res.CPU, st)
@@ -393,6 +515,8 @@ func (s *Simulator) runTransfer(ph workload.Phase, now clock.Time, res *Result) 
 		if err := s.ownershipRelease(); err != nil {
 			return now, err
 		}
+		s.tracer.Instant(obs.TrackCPU, "cache-flush", "model", uint64(now), nil)
+		s.tracer.Instant(obs.TrackCPU, "release-ownership", "model", uint64(now), nil)
 		end, st := s.cpuCore.Run(trace.Stream{{Kind: isa.APIRelease}}, now)
 		res.Communication += end.Sub(now)
 		addCPUStats(&res.CPU, st)
@@ -420,10 +544,18 @@ func (s *Simulator) runTransfer(ph workload.Phase, now clock.Time, res *Result) 
 		res.Communication += launch
 		now = now.Add(launch)
 		done := s.fabric.Transfer(ph.Bytes, now)
+		if s.tracer != nil {
+			s.tracer.Span(obs.TrackFabric, "transfer."+ph.Dir.String(), "comm",
+				uint64(now), uint64(done), map[string]any{"bytes": ph.Bytes, "async": true})
+		}
 		s.asyncReady = clock.Max(s.asyncReady, done)
 		return now, nil
 	}
 	done := s.fabric.Transfer(ph.Bytes, now)
+	if s.tracer != nil {
+		s.tracer.Span(obs.TrackFabric, "transfer."+ph.Dir.String(), "comm",
+			uint64(now), uint64(done), map[string]any{"bytes": ph.Bytes})
+	}
 	res.Communication += done.Sub(now)
 	return done, nil
 }
