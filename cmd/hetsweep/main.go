@@ -33,8 +33,10 @@ func main() {
 		csvPath     = flag.String("csv", "", "also write the case-study sweep as CSV to this file")
 		energyOut   = flag.Bool("energy", false, "print the energy breakdown for the case-study sweep")
 		jsonOut     = flag.Bool("json", false, "emit the case-study sweep (full results) as JSON to stdout")
+		par         = flag.Int("par", 0, "sweep worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	exec := harness.Executor{Par: *par}
 
 	kernels := harness.DefaultKernels()
 	if *quick {
@@ -78,7 +80,7 @@ func main() {
 	caseStudies := func() []harness.Cell {
 		if caseCells == nil {
 			var err error
-			caseCells, err = harness.RunCaseStudies(kernels)
+			caseCells, err = exec.RunCaseStudies(kernels)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -93,7 +95,7 @@ func main() {
 		case 6:
 			fmt.Println(harness.RenderFigure6(caseStudies()))
 		case 7:
-			cells, err := harness.RunAddressSpaces(kernels)
+			cells, err := exec.RunAddressSpaces(kernels)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -238,6 +238,24 @@ func MustNew(model Model, pageSize uint64) *Space {
 	return s
 }
 
+// Reset returns the space to its just-constructed state: no objects, no
+// mappings, no ownership or touch history, statistics cleared, and the
+// region allocation cursors back at their bases (page 0 of the
+// CPU-private region stays unmapped, as in New). Instruments stay wired.
+func (s *Space) Reset() {
+	s.next[CPUPrivate] = CPUPrivateBase + s.pageSize
+	s.next[GPUPrivate] = GPUPrivateBase
+	s.next[Shared] = SharedBase
+	s.objects = nil
+	s.nextFrame = [mem.NumPUs]uint64{}
+	clear(s.owner)
+	for p := mem.PU(0); p < mem.NumPUs; p++ {
+		clear(s.pt[p])
+		clear(s.touched[p])
+	}
+	s.stats = Stats{}
+}
+
 // Model returns the space's model.
 func (s *Space) Model() Model { return s.model }
 

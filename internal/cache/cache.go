@@ -339,6 +339,19 @@ func lruAmong(set []block, eligible func(block) bool) int {
 	return best
 }
 
+// Reset returns the cache to its just-constructed state: every block
+// invalid, replacement state and statistics cleared. Instruments stay
+// wired. Used when a simulator is recycled between runs.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i] = block{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
 // Invalidate removes the line containing addr if present, reporting
 // whether it was present and whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {

@@ -23,6 +23,14 @@ func NewMSHR(capacity int) *MSHR {
 	return &MSHR{capacity: capacity, entries: make(map[uint64]clock.Time)}
 }
 
+// Reset returns the file to its just-constructed state: no outstanding
+// entries, merge and stall counts cleared.
+func (m *MSHR) Reset() {
+	clear(m.entries)
+	m.merges = 0
+	m.stalls = 0
+}
+
 // expire drops entries whose fills have completed by now.
 func (m *MSHR) expire(now clock.Time) {
 	for line, ready := range m.entries {

@@ -84,3 +84,11 @@ func (s *Scratchpad) Clear() {
 	s.ranges = make(map[uint64]uint64)
 	s.used = 0
 }
+
+// Reset returns the scratchpad to its just-constructed state: Clear
+// plus zeroed hit/miss counters.
+func (s *Scratchpad) Reset() {
+	s.Clear()
+	s.hits = 0
+	s.misses = 0
+}

@@ -40,6 +40,9 @@ type Fabric interface {
 	// Instrument registers the fabric's metrics (comm.*) with reg; a nil
 	// registry detaches them.
 	Instrument(reg *obs.Registry)
+	// Reset returns the fabric to its just-constructed state (idle link,
+	// zeroed statistics), keeping any instruments wired.
+	Reset()
 }
 
 // Stats counts fabric activity.
@@ -117,6 +120,12 @@ func (p *PCIe) Stats() Stats { return p.stats }
 // Instrument implements Fabric.
 func (p *PCIe) Instrument(reg *obs.Registry) { p.obs = newFabObs(reg) }
 
+// Reset implements Fabric.
+func (p *PCIe) Reset() {
+	p.link.Reset()
+	p.stats = Stats{}
+}
+
 // Transfer implements Fabric: base api-pci latency, then the payload
 // serialises onto the shared link.
 func (p *PCIe) Transfer(bytes uint64, now clock.Time) clock.Time {
@@ -163,6 +172,12 @@ func (a *Aperture) Stats() Stats { return a.stats }
 // Instrument implements Fabric.
 func (a *Aperture) Instrument(reg *obs.Registry) { a.obs = newFabObs(reg) }
 
+// Reset implements Fabric.
+func (a *Aperture) Reset() {
+	a.link.Reset()
+	a.stats = Stats{}
+}
+
 // Transfer implements Fabric.
 func (a *Aperture) Transfer(bytes uint64, now clock.Time) clock.Time {
 	base := a.params.Latency(isa.APITransfer, 0)
@@ -206,6 +221,10 @@ func (m *MemController) Stats() Stats { return m.stats }
 // Instrument implements Fabric.
 func (m *MemController) Instrument(reg *obs.Registry) { m.obs = newFabObs(reg) }
 
+// Reset implements Fabric: the controller belongs to the hierarchy,
+// which resets it; only the fabric's own counters clear here.
+func (m *MemController) Reset() { m.stats = Stats{} }
+
 // Transfer implements Fabric: read every source line and write every
 // destination line through the controllers.
 func (m *MemController) Transfer(bytes uint64, now clock.Time) clock.Time {
@@ -241,6 +260,9 @@ func (i *Ideal) Stats() Stats { return i.stats }
 
 // Instrument implements Fabric.
 func (i *Ideal) Instrument(reg *obs.Registry) { i.obs = newFabObs(reg) }
+
+// Reset implements Fabric.
+func (i *Ideal) Reset() { i.stats = Stats{} }
 
 // Transfer implements Fabric: free.
 func (i *Ideal) Transfer(bytes uint64, now clock.Time) clock.Time {

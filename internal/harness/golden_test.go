@@ -1,0 +1,69 @@
+package harness_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heteromem/internal/harness"
+)
+
+// update regenerates the golden files from the current implementation:
+//
+//	go test ./internal/harness -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenRenderings returns every rendering the sweep produces, keyed by
+// golden-file name. Figures 5/6 run the five case-study systems and
+// Figure 7 the four ideal-communication address-space models, all over
+// the quick kernel set; Tables I-V are static renderings.
+func goldenRenderings(t *testing.T) map[string]string {
+	t.Helper()
+	cases, err := harness.RunCaseStudies(harness.QuickKernels())
+	if err != nil {
+		t.Fatalf("RunCaseStudies: %v", err)
+	}
+	spaces, err := harness.RunAddressSpaces(harness.QuickKernels())
+	if err != nil {
+		t.Fatalf("RunAddressSpaces: %v", err)
+	}
+	return map[string]string{
+		"figure5.txt": harness.RenderFigure5(cases),
+		"figure6.txt": harness.RenderFigure6(cases),
+		"figure7.txt": harness.RenderFigure7(spaces),
+		"table1.txt":  harness.RenderTable1(),
+		"table2.txt":  harness.RenderTable2(),
+		"table3.txt":  harness.RenderTable3(),
+		"table4.txt":  harness.RenderTable4(),
+		"table5.txt":  harness.RenderTable5(),
+	}
+}
+
+// TestGolden pins every figure and table rendering byte for byte. It is
+// the equivalence check behind memory-path refactors: any change to the
+// simulated latencies or to the report formatting shows up as a diff
+// against testdata/.
+func TestGolden(t *testing.T) {
+	got := goldenRenderings(t)
+	for name, text := range got {
+		path := filepath.Join("testdata", name)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+		}
+		if text != string(want) {
+			t.Errorf("%s differs from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+				name, path, text, want)
+		}
+	}
+}

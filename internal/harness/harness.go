@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -41,26 +42,49 @@ func QuickKernels() []string {
 }
 
 // RunCaseStudies simulates the five Figure 5 systems over the named
-// kernels, one fresh simulator per cell.
+// kernels with the default executor.
 func RunCaseStudies(kernels []string) ([]Cell, error) {
-	return runSystems(systems.CaseStudies(), kernels)
+	return Executor{}.RunCaseStudies(kernels)
 }
 
 // RunAddressSpaces simulates the four Figure 7 configurations (each
-// address-space model with ideal communication and the shared cache).
+// address-space model with ideal communication and the shared cache)
+// with the default executor.
 func RunAddressSpaces(kernels []string) ([]Cell, error) {
+	return Executor{}.RunAddressSpaces(kernels)
+}
+
+// Executor runs sweep cells on a fixed-size worker pool. Workers stream
+// cells from a shared queue, and each worker owns one pooled simulator
+// per system, Reset between cells — so a sweep allocates per (worker,
+// system), not per cell, and never has more goroutines than workers.
+type Executor struct {
+	// Par is the number of workers; zero or negative means GOMAXPROCS.
+	Par int
+}
+
+// RunCaseStudies simulates the five Figure 5 systems over the named
+// kernels.
+func (e Executor) RunCaseStudies(kernels []string) ([]Cell, error) {
+	return e.RunSystems(systems.CaseStudies(), kernels)
+}
+
+// RunAddressSpaces simulates the four Figure 7 configurations.
+func (e Executor) RunAddressSpaces(kernels []string) ([]Cell, error) {
 	var sysList []systems.System
 	for _, m := range addrspace.AllModels() {
 		sysList = append(sysList, systems.ForModel(m))
 	}
-	return runSystems(sysList, kernels)
+	return e.RunSystems(sysList, kernels)
 }
 
-// runSystems measures every (kernel, system) cell. Each cell is an
-// independent simulation with its own hierarchy, so the cells run
-// concurrently (bounded by GOMAXPROCS); results are deterministic and
-// returned in kernel-major, system-minor order regardless of scheduling.
-func runSystems(sysList []systems.System, kernels []string) ([]Cell, error) {
+// RunSystems measures every (kernel, system) cell. Each cell is an
+// independent simulation (a pooled simulator is Reset to cold between
+// cells, which is bit-identical to a fresh one), so results are
+// deterministic and returned in kernel-major, system-minor order
+// regardless of scheduling. All failing cells are reported, each with
+// its kernel/system context.
+func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell, error) {
 	programs := make([]*workload.Program, len(kernels))
 	for i, kernel := range kernels {
 		p, err := workload.Generate(kernel)
@@ -70,44 +94,62 @@ func runSystems(sysList []systems.System, kernels []string) ([]Cell, error) {
 		programs[i] = p
 	}
 
-	type slot struct {
-		cell Cell
-		err  error
+	n := len(kernels) * len(sysList)
+	workers := e.Par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	cells := make([]slot, len(kernels)*len(sysList))
+	if workers > n {
+		workers = n
+	}
+
+	type job struct{ ki, si int }
+	cells := make([]Cell, n)
+	errs := make([]error, n) // disjoint slots; no mutex needed
+	jobs := make(chan job)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ki, p := range programs {
-		for si, sys := range sysList {
-			wg.Add(1)
-			go func(idx int, sys systems.System, p *workload.Program) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				s, err := sim.New(sys)
-				if err != nil {
-					cells[idx].err = err
-					return
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One pooled simulator per system, created on first use and
+			// Reset between this worker's cells.
+			sims := make([]*sim.Simulator, len(sysList))
+			for j := range jobs {
+				idx := j.ki*len(sysList) + j.si
+				p, sys := programs[j.ki], sysList[j.si]
+				s := sims[j.si]
+				if s == nil {
+					var err error
+					if s, err = sim.New(sys); err != nil {
+						errs[idx] = fmt.Errorf("%s on %s: %w", p.Name, sys.Name, err)
+						continue
+					}
+					sims[j.si] = s
+				} else {
+					s.Reset()
 				}
 				res, err := s.Run(p)
 				if err != nil {
-					cells[idx].err = err
-					return
+					errs[idx] = fmt.Errorf("%s on %s: %w", p.Name, sys.Name, err)
+					continue
 				}
-				cells[idx].cell = Cell{System: sys.Name, Kernel: p.Name, Result: res}
-			}(ki*len(sysList)+si, sys, p)
+				cells[idx] = Cell{System: sys.Name, Kernel: p.Name, Result: res}
+			}
+		}()
+	}
+	for ki := range programs {
+		for si := range sysList {
+			jobs <- job{ki, si}
 		}
 	}
+	close(jobs)
 	wg.Wait()
 
-	out := make([]Cell, 0, len(cells))
-	for _, s := range cells {
-		if s.err != nil {
-			return nil, s.err
-		}
-		out = append(out, s.cell)
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return cells, nil
 }
 
 // baseline returns the cell for the named system within one kernel's

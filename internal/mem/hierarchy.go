@@ -4,6 +4,11 @@
 // DDR3 memory controllers behind it. The hierarchy times individual
 // accesses and explicit push placements, and exposes the GPU's
 // software-managed cache.
+//
+// Each access runs as a memsys.Request through an explicit stage
+// pipeline (private levels, MSHR, ring hops, L3, coherence, DRAM,
+// commit); this package owns the composition, internal/memsys owns the
+// stages.
 package mem
 
 import (
@@ -13,6 +18,7 @@ import (
 	"heteromem/internal/clock"
 	"heteromem/internal/coherence"
 	"heteromem/internal/dram"
+	"heteromem/internal/memsys"
 	"heteromem/internal/noc"
 	"heteromem/internal/obs"
 )
@@ -190,7 +196,9 @@ type Stats struct {
 	CoherenceOps uint64
 }
 
-// Hierarchy is the assembled memory system.
+// Hierarchy is the assembled memory system: the cache/ring/DRAM
+// substrates plus the per-PU memsys pipelines that route each access
+// through them.
 type Hierarchy struct {
 	cfg     Config
 	cpuL1d  *cache.Cache
@@ -202,46 +210,49 @@ type Hierarchy struct {
 	mshr    [NumPUs]*cache.MSHR
 	scratch *cache.Scratchpad
 	dir     *coherence.Directory
-	stats   Stats
-	obs     hierObs
 
-	// reqBytes/respBytes size the ring control and data messages.
-	reqBytes  int
-	lineBytes int
+	// topo maps PUs and tiles onto ring stops and fixes message sizes;
+	// env carries the counters the stages bump.
+	topo    memsys.Topology
+	env     memsys.Env
+	private [NumPUs]*memsys.PrivateStage
+	l3Stage *memsys.L3Stage
+	pipe    [NumPUs]*memsys.Pipeline
+	// req is the reusable transaction: accesses are sequential per
+	// hierarchy (one simulator, one goroutine), so a single request
+	// keeps the pipeline allocation-free.
+	req memsys.Request
+
+	stats Stats // access/push counts; event counts live in env
+	obs   hierObs
 }
 
-// hierObs holds the hierarchy's observability instruments under the
-// mem.* namespace; nil instruments make every bump a no-op.
+// hierObs holds the hierarchy-owned observability instruments under the
+// mem.* namespace; the per-stage instruments live in env.Obs. Nil
+// instruments make every bump a no-op.
 type hierObs struct {
-	accesses     [NumPUs]*obs.Counter
-	l1Hits       [NumPUs]*obs.Counter
-	l2Hits       *obs.Counter
-	l3Hits       [NumPUs]*obs.Counter
-	dramFills    [NumPUs]*obs.Counter
-	writebacks   *obs.Counter
-	pushes       *obs.Counter
-	pushBytes    *obs.Counter
-	coherenceOps *obs.Counter
-	mshrOut      [NumPUs]*obs.Gauge
+	accesses  [NumPUs]*obs.Counter
+	pushes    *obs.Counter
+	pushBytes *obs.Counter
 }
 
 // Instrument registers the hierarchy's metrics (mem.*) with reg and
 // cascades to its components: each cache under "mem.<name>", the ring
 // (noc.*) and the memory controllers (dram.*). A nil registry detaches
-// everything.
+// everything. The stages observe the rewiring through their shared Env.
 func (h *Hierarchy) Instrument(reg *obs.Registry) {
 	for p := PU(0); p < NumPUs; p++ {
 		h.obs.accesses[p] = reg.Counter("mem.accesses." + p.String())
-		h.obs.l1Hits[p] = reg.Counter("mem.l1.hits." + p.String())
-		h.obs.l3Hits[p] = reg.Counter("mem.l3.hits." + p.String())
-		h.obs.dramFills[p] = reg.Counter("mem.dram_fills." + p.String())
-		h.obs.mshrOut[p] = reg.Gauge("mem.mshr.outstanding." + p.String())
+		h.env.Obs.L1Hits[p] = reg.Counter("mem.l1.hits." + p.String())
+		h.env.Obs.L3Hits[p] = reg.Counter("mem.l3.hits." + p.String())
+		h.env.Obs.DRAMFills[p] = reg.Counter("mem.dram_fills." + p.String())
+		h.env.Obs.MSHROut[p] = reg.Gauge("mem.mshr.outstanding." + p.String())
 	}
-	h.obs.l2Hits = reg.Counter("mem.l2.hits")
-	h.obs.writebacks = reg.Counter("mem.writebacks")
+	h.env.Obs.L2Hits = reg.Counter("mem.l2.hits")
+	h.env.Obs.Writebacks = reg.Counter("mem.writebacks")
+	h.env.Obs.CoherenceOps = reg.Counter("mem.coherence.ops")
 	h.obs.pushes = reg.Counter("mem.pushes")
 	h.obs.pushBytes = reg.Counter("mem.push_bytes")
-	h.obs.coherenceOps = reg.Counter("mem.coherence.ops")
 
 	h.cpuL1d.Instrument(reg, "mem."+h.cfg.CPUL1D.Name)
 	h.cpuL2.Instrument(reg, "mem."+h.cfg.CPUL2.Name)
@@ -258,7 +269,7 @@ func New(cfg Config) (*Hierarchy, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	h := &Hierarchy{cfg: cfg, reqBytes: 16, lineBytes: cfg.L3Tile.LineBytes}
+	h := &Hierarchy{cfg: cfg}
 	var err error
 	if h.cpuL1d, err = cache.New(cfg.CPUL1D); err != nil {
 		return nil, err
@@ -288,12 +299,65 @@ func New(cfg Config) (*Hierarchy, error) {
 	}
 	h.scratch = cache.NewScratchpad("gpu.sw", cfg.SWCacheBytes)
 	if cfg.Coherence == CoherenceDirectory {
-		h.dir, err = coherence.NewDirectory(uint64(h.lineBytes), int(NumPUs))
+		h.dir, err = coherence.NewDirectory(uint64(cfg.L3Tile.LineBytes), int(NumPUs))
 		if err != nil {
 			return nil, err
 		}
 	}
+	h.buildPipelines()
 	return h, nil
+}
+
+// buildPipelines composes the per-PU stage pipelines over the
+// substrates New assembled: private levels, MSHR merge, request hop,
+// L3 (with coherence), DRAM, response hop, commit. Stage order is the
+// request path of Table II.
+func (h *Hierarchy) buildPipelines() {
+	cfg := h.cfg
+	h.topo = memsys.Topology{
+		PUStop:    [memsys.NumPUs]int{cfg.cpuStop(), cfg.gpuStop()},
+		L3Base:    cfg.l3Stop(0),
+		MCStop:    cfg.mcStop(),
+		Tiles:     cfg.L3Tiles,
+		LineBytes: cfg.L3Tile.LineBytes,
+		ReqBytes:  16,
+	}
+	coh := &memsys.CoherenceStage{
+		Dir:  h.dir,
+		Net:  h.ring,
+		Topo: h.topo,
+		Caches: [memsys.NumPUs][]*cache.Cache{
+			{h.cpuL1d, h.cpuL2},
+			{h.gpuL1d},
+		},
+		Env: &h.env,
+	}
+	h.private[CPU] = &memsys.PrivateStage{
+		PU: memsys.CPU, L1: h.cpuL1d, L1Lat: cfg.CPUL1DLat,
+		L2: h.cpuL2, L2Lat: cfg.CPUL2Lat, Coherence: coh, Env: &h.env,
+	}
+	h.private[GPU] = &memsys.PrivateStage{
+		PU: memsys.GPU, L1: h.gpuL1d, L1Lat: cfg.GPUL1DLat,
+		Coherence: coh, Env: &h.env,
+	}
+	h.l3Stage = &memsys.L3Stage{
+		Tiles: h.l3, Lat: cfg.L3Lat, Mem: h.dram,
+		Topo: h.topo, Coherence: coh, Env: &h.env,
+	}
+	dramStage := &memsys.DRAMStage{
+		Ctrl: h.dram, Net: h.ring, Topo: h.topo, L3: h.l3Stage, Env: &h.env,
+	}
+	for p := PU(0); p < NumPUs; p++ {
+		h.pipe[p] = memsys.NewPipeline(
+			h.private[p],
+			&memsys.MSHRStage{File: h.mshr[p]},
+			&memsys.RingHopStage{Stage: memsys.StageRingReq, Net: h.ring, Topo: h.topo},
+			h.l3Stage,
+			dramStage,
+			&memsys.RingHopStage{Stage: memsys.StageRingResp, Net: h.ring, Topo: h.topo},
+			&memsys.CommitStage{Private: h.private[p], File: h.mshr[p], Env: &h.env},
+		)
+	}
 }
 
 // MustNew is New but panics on configuration error.
@@ -309,7 +373,40 @@ func MustNew(cfg Config) *Hierarchy {
 func (h *Hierarchy) Config() Config { return h.cfg }
 
 // Stats returns a snapshot of the hierarchy counters.
-func (h *Hierarchy) Stats() Stats { return h.stats }
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	s.L1Hits = h.env.L1Hits
+	s.L2Hits = h.env.L2Hits
+	s.L3Hits = h.env.L3Hits
+	s.DRAMFills = h.env.DRAMFills
+	s.Writebacks = h.env.Writebacks
+	s.CoherenceOps = h.env.CoherenceOps
+	return s
+}
+
+// Reset returns the hierarchy to its just-constructed state: every
+// cache cold, the ring and controllers idle, MSHR files and scratchpad
+// empty, the directory untracked, and all statistics cleared.
+// Instruments stay wired (use Instrument(nil) to detach them).
+func (h *Hierarchy) Reset() {
+	h.cpuL1d.Reset()
+	h.cpuL2.Reset()
+	h.gpuL1d.Reset()
+	for _, t := range h.l3 {
+		t.Reset()
+	}
+	h.ring.Reset()
+	h.dram.Reset()
+	for p := PU(0); p < NumPUs; p++ {
+		h.mshr[p].Reset()
+	}
+	h.scratch.Reset()
+	if h.dir != nil {
+		h.dir.Reset()
+	}
+	h.env.Reset()
+	h.stats = Stats{}
+}
 
 // Scratchpad returns the GPU's software-managed cache.
 func (h *Hierarchy) Scratchpad() *cache.Scratchpad { return h.scratch }
@@ -320,202 +417,20 @@ func (h *Hierarchy) DRAM() *dram.Controller { return h.dram }
 // Ring returns the interconnect, for reporting.
 func (h *Hierarchy) Ring() *noc.Ring { return h.ring }
 
-// tileFor returns the L3 tile index serving addr (line interleaved).
-func (h *Hierarchy) tileFor(addr uint64) int {
-	return int(addr/uint64(h.lineBytes)) % h.cfg.L3Tiles
-}
-
-func (h *Hierarchy) puStop(pu PU) int {
-	if pu == CPU {
-		return h.cfg.cpuStop()
-	}
-	return h.cfg.gpuStop()
-}
-
-// Access times a single load or store by pu to addr, starting at now, and
-// returns its completion time. Write-allocate, write-back at every level.
-func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock.Time {
-	h.stats.Accesses[pu]++
-	h.obs.accesses[pu].Inc()
-	switch pu {
-	case CPU:
-		t := now.Add(h.cfg.CPUL1DLat)
-		if h.cpuL1d.Lookup(addr, write) {
-			h.stats.L1Hits[CPU]++
-			h.obs.l1Hits[CPU].Inc()
-			if write {
-				t = h.coherenceFee(CPU, addr, true, t)
-			}
-			return t
-		}
-		t = t.Add(h.cfg.CPUL2Lat)
-		if h.cpuL2.Lookup(addr, write) {
-			h.stats.L2Hits++
-			h.obs.l2Hits.Inc()
-			h.fillInto(h.cpuL1d, addr, write)
-			return t
-		}
-		return h.sharedAccess(CPU, addr, write, t)
-	case GPU:
-		t := now.Add(h.cfg.GPUL1DLat)
-		if h.gpuL1d.Lookup(addr, write) {
-			h.stats.L1Hits[GPU]++
-			h.obs.l1Hits[GPU].Inc()
-			if write {
-				t = h.coherenceFee(GPU, addr, true, t)
-			}
-			return t
-		}
-		return h.sharedAccess(GPU, addr, write, t)
-	default:
-		panic(fmt.Sprintf("mem: access from unknown PU %d", pu))
-	}
-}
-
-// sharedAccess handles a first-level-miss access from pu beginning its L3
-// request at time t (private levels already charged).
-func (h *Hierarchy) sharedAccess(pu PU, addr uint64, write bool, t clock.Time) clock.Time {
-	line := addr &^ uint64(h.lineBytes-1)
-	if ready, ok := h.mshr[pu].Outstanding(line, t); ok {
-		// A miss to this line is already in flight; this access completes
-		// with it (the fill also populated the private levels).
-		return clock.Max(ready, t)
-	}
-
-	tile := h.tileFor(addr)
-	src := h.puStop(pu)
-	l3s := h.cfg.l3Stop(tile)
-
-	// Request message to the L3 tile, then the tile lookup. The home
-	// tile consults the coherence directory before serving data.
-	at := h.ring.Send(src, l3s, h.reqBytes, t)
-	at = at.Add(h.cfg.L3Lat)
-	at = h.coherenceFee(pu, addr, write, at)
-	if h.l3[tile].Lookup(addr, write) {
-		h.stats.L3Hits[pu]++
-		h.obs.l3Hits[pu].Inc()
-		done := h.ring.Send(l3s, src, h.lineBytes+h.reqBytes, at)
-		h.fillPrivate(pu, addr, write)
-		return h.allocateMSHR(pu, line, t, done)
-	}
-
-	// L3 miss: forward to the memory controller stop, access DRAM, and
-	// return the line to the requester.
-	at = h.ring.Send(l3s, h.cfg.mcStop(), h.reqBytes, at)
-	at = h.dram.Submit(addr, at)
-	h.stats.DRAMFills[pu]++
-	h.obs.dramFills[pu].Inc()
-	at = h.ring.Send(h.cfg.mcStop(), l3s, h.lineBytes+h.reqBytes, at)
-	h.fillL3(tile, addr, false, write, at)
-	done := h.ring.Send(l3s, src, h.lineBytes+h.reqBytes, at)
-	h.fillPrivate(pu, addr, write)
-	return h.allocateMSHR(pu, line, t, done)
-}
-
-// allocateMSHR registers the primary miss and, when instrumented, tracks
-// the outstanding-miss level. The InFlight walk only runs with a live
-// gauge, so the uninstrumented path pays a single nil check.
-func (h *Hierarchy) allocateMSHR(pu PU, line uint64, t, done clock.Time) clock.Time {
-	ready := h.mshr[pu].Allocate(line, t, done)
-	if h.obs.mshrOut[pu] != nil {
-		h.obs.mshrOut[pu].Set(uint64(h.mshr[pu].InFlight(t)))
-	}
-	return ready
-}
-
-// fillPrivate installs the line into pu's private levels, notifying the
-// directory when a line leaves the PU's domain entirely.
-func (h *Hierarchy) fillPrivate(pu PU, addr uint64, write bool) {
-	if pu == CPU {
-		ev := h.cpuL2.Fill(addr, false, false)
-		h.noteEviction(CPU, ev, h.cpuL1d)
-		h.fillInto(h.cpuL1d, addr, write)
-		return
-	}
-	ev := h.gpuL1d.Fill(addr, false, write)
-	h.noteEviction(GPU, ev, nil)
-}
-
-// noteEviction counts a private eviction and drops the line from the
-// directory if no other cache of the same PU still holds it.
-func (h *Hierarchy) noteEviction(pu PU, ev cache.Eviction, alsoHolds *cache.Cache) {
-	if !ev.Valid {
-		return
-	}
-	if ev.Dirty {
-		h.stats.Writebacks++
-		h.obs.writebacks.Inc()
-	}
-	if h.dir == nil {
-		return
-	}
-	if alsoHolds != nil && alsoHolds.Probe(ev.Addr) {
-		return
-	}
-	h.dir.Evict(int(pu), ev.Addr)
-}
-
-// coherenceFee prices the directory work an access requires: remote
-// copies are invalidated (and dirty ones written back) over the ring
-// before the access may complete. Free when the directory is off or the
-// access needs no remote work.
-func (h *Hierarchy) coherenceFee(pu PU, addr uint64, write bool, t clock.Time) clock.Time {
-	if h.dir == nil {
-		return t
-	}
-	act := h.dir.Access(int(pu), addr, write)
-	if act.Messages == 0 {
-		return t
-	}
-	h.stats.CoherenceOps++
-	h.obs.coherenceOps.Inc()
-	other := CPU
-	if pu == CPU {
-		other = GPU
-	}
-	line := addr &^ uint64(h.lineBytes-1)
-	if other == CPU {
-		h.cpuL1d.Invalidate(line)
-		h.cpuL2.Invalidate(line)
-	} else {
-		h.gpuL1d.Invalidate(line)
-	}
-	// One round trip from the home tile to the remote PU: the
-	// invalidate/forward out, the ack (plus data for a writeback) back.
-	tile := h.tileFor(addr)
-	l3s := h.cfg.l3Stop(tile)
-	t = h.ring.Send(l3s, h.puStop(other), h.reqBytes, t)
-	resp := h.reqBytes
-	if act.Writeback {
-		resp += h.lineBytes
-	}
-	return h.ring.Send(h.puStop(other), l3s, resp, t)
-}
-
 // Directory returns the coherence directory, or nil when coherence is
 // off.
 func (h *Hierarchy) Directory() *coherence.Directory { return h.dir }
 
-// fillInto fills a private cache, absorbing the eviction (private-level
-// writebacks land in the level below, whose traffic the shared path
-// already dominates; we count them only).
-func (h *Hierarchy) fillInto(c *cache.Cache, addr uint64, dirty bool) {
-	ev := c.Fill(addr, false, dirty)
-	if ev.Valid && ev.Dirty {
-		h.stats.Writebacks++
-		h.obs.writebacks.Inc()
+// Access times a single load or store by pu to addr, starting at now, and
+// returns its completion time. Write-allocate, write-back at every level.
+func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock.Time {
+	if pu >= NumPUs {
+		panic(fmt.Sprintf("mem: access from unknown PU %d", pu))
 	}
-}
-
-// fillL3 installs a line into its L3 tile; a dirty victim is written back
-// to DRAM, occupying the controller but off the critical path.
-func (h *Hierarchy) fillL3(tile int, addr uint64, explicit, dirty bool, now clock.Time) {
-	ev := h.l3[tile].Fill(addr, explicit, dirty)
-	if ev.Valid && ev.Dirty {
-		h.stats.Writebacks++
-		h.obs.writebacks.Inc()
-		h.dram.Submit(ev.Addr, now)
-	}
+	h.stats.Accesses[pu]++
+	h.obs.accesses[pu].Inc()
+	h.req.Start(memsys.PU(pu), addr, h.topo.Line(addr), write, now)
+	return h.pipe[pu].Run(&h.req)
 }
 
 // Push explicitly places the size-byte object at addr into the target
@@ -531,6 +446,7 @@ func (h *Hierarchy) Push(pu PU, addr uint64, size uint32, level Level, now clock
 	if size == 0 {
 		return now
 	}
+	lineBytes := uint64(h.topo.LineBytes)
 	switch level {
 	case LevelSoftware:
 		// Software-managed cache: one DMA-style burst from the shared
@@ -542,26 +458,26 @@ func (h *Hierarchy) Push(pu PU, addr uint64, size uint32, level Level, now clock
 			_ = h.scratch.Place(addr, uint64(size))
 		}
 		t := now
-		for line := addr &^ uint64(h.lineBytes-1); line < addr+uint64(size); line += uint64(h.lineBytes) {
+		for line := h.topo.Line(addr); line < addr+uint64(size); line += lineBytes {
 			t = h.Access(GPU, line, false, t)
 		}
 		return t
 	case LevelShared:
 		// Move each line into its L3 tile over the ring, marked explicit.
 		t := now
-		src := h.puStop(pu)
-		for line := addr &^ uint64(h.lineBytes-1); line < addr+uint64(size); line += uint64(h.lineBytes) {
-			tile := h.tileFor(line)
-			at := h.ring.Send(src, h.cfg.l3Stop(tile), h.lineBytes+h.reqBytes, t)
+		src := h.topo.PUStop[pu]
+		for line := h.topo.Line(addr); line < addr+uint64(size); line += lineBytes {
+			tile := h.topo.TileFor(line)
+			at := h.ring.Send(src, h.topo.TileStop(tile), h.topo.LineBytes+h.topo.ReqBytes, t)
 			at = at.Add(h.cfg.L3Lat)
-			h.fillL3(tile, line, true, true, at)
+			h.l3Stage.Fill(tile, line, true, true, at)
 			t = at
 		}
 		return t
 	case LevelPrivate:
 		// Prefetch into the PU's first-level cache through the normal path.
 		t := now
-		for line := addr &^ uint64(h.lineBytes-1); line < addr+uint64(size); line += uint64(h.lineBytes) {
+		for line := h.topo.Line(addr); line < addr+uint64(size); line += lineBytes {
 			t = h.Access(pu, line, false, t)
 		}
 		return t

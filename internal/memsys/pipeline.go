@@ -1,0 +1,93 @@
+package memsys
+
+import (
+	"heteromem/internal/clock"
+)
+
+// Verdict is a stage's decision about what happens to the request next.
+type Verdict uint8
+
+const (
+	// Next passes the request to the following stage.
+	Next Verdict = iota
+	// Done completes the request at its current Now; later stages are
+	// skipped.
+	Done
+)
+
+// Stage is one step of the request pipeline. Process advances r.Now by
+// whatever latency the stage charges, updates the stage's own state
+// (cache contents, MSHR entries, statistics) and decides whether the
+// request continues.
+type Stage interface {
+	// ID names the stage; the pipeline stamps r.Stamp[ID()] after
+	// Process returns.
+	ID() StageID
+	// Process applies the stage to the request.
+	Process(r *Request) Verdict
+}
+
+// Interconnect carries pipeline messages between stops. noc.Ring
+// satisfies it; a mesh (or any other topology) can be swapped in by
+// implementing the same contract.
+type Interconnect interface {
+	// Send moves bytes from stop `from` to stop `to` starting at now and
+	// returns the arrival time.
+	Send(from, to, bytes int, now clock.Time) clock.Time
+}
+
+// Topology maps PUs, L3 tiles and the memory controller onto
+// interconnect stops and fixes the message geometry (line and request
+// message sizes). It is a value type: stages copy it at construction.
+type Topology struct {
+	// PUStop is each PU's interconnect stop.
+	PUStop [NumPUs]int
+	// L3Base is the stop of L3 tile 0; tile t sits at L3Base+t.
+	L3Base int
+	// MCStop is the memory-controller stop.
+	MCStop int
+	// Tiles is the number of L3 tiles; lines interleave across them.
+	Tiles int
+	// LineBytes is the cache-line size, which is also the data-message
+	// payload.
+	LineBytes int
+	// ReqBytes is the size of a request/control message.
+	ReqBytes int
+}
+
+// TileFor returns the L3 tile serving addr (line-interleaved).
+func (t Topology) TileFor(addr uint64) int {
+	return int(addr/uint64(t.LineBytes)) % t.Tiles
+}
+
+// TileStop returns the interconnect stop of L3 tile `tile`.
+func (t Topology) TileStop(tile int) int { return t.L3Base + tile }
+
+// Line returns addr rounded down to its cache-line base.
+func (t Topology) Line(addr uint64) uint64 {
+	return addr &^ uint64(t.LineBytes-1)
+}
+
+// Pipeline runs a request through an ordered stage list, stamping each
+// stage's completion time, until a stage reports Done or the stages are
+// exhausted.
+type Pipeline struct {
+	stages []Stage
+}
+
+// NewPipeline builds a pipeline over the given stages, in order.
+func NewPipeline(stages ...Stage) *Pipeline {
+	return &Pipeline{stages: stages}
+}
+
+// Run processes r through the pipeline and returns its completion time.
+func (p *Pipeline) Run(r *Request) clock.Time {
+	for _, s := range p.stages {
+		v := s.Process(r)
+		r.Stamp[s.ID()] = r.Now
+		if v == Done {
+			break
+		}
+	}
+	return r.Now
+}

@@ -262,6 +262,26 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Reset zeroes every registered metric's value, keeping the instruments
+// themselves (and every pointer components hold to them) intact. No-op
+// on a nil registry. Used when a simulator is recycled between runs.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	for _, c := range r.counters {
+		c.v = 0
+	}
+	for _, g := range r.gauges {
+		g.v = 0
+	}
+	for _, h := range r.histograms {
+		h.buckets = [histBuckets]uint64{}
+		h.count = 0
+		h.sum = 0
+	}
+}
+
 // LookupCounter returns the named counter if registered.
 func (r *Registry) LookupCounter(name string) (*Counter, bool) {
 	if r == nil {

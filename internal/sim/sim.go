@@ -105,7 +105,9 @@ type Options struct {
 
 // Simulator runs kernels on one system configuration. A Simulator is
 // stateful across phases of a run (caches stay warm, first-touch state
-// persists); create a fresh one per (system, kernel) measurement.
+// persists); call Reset between measurements — a reset simulator
+// produces bit-identical results to a freshly constructed one, so sweep
+// harnesses pool simulators instead of rebuilding them per cell.
 type Simulator struct {
 	sys     systems.System
 	hier    *mem.Hierarchy
@@ -244,6 +246,23 @@ func MustNew(sys systems.System) *Simulator {
 		panic(err)
 	}
 	return s
+}
+
+// Reset returns the simulator to its just-constructed state so the next
+// Run starts cold: hierarchy (caches, ring, DRAM, MSHRs, scratchpad,
+// directory), cores, fabric, address space, programming-model state and
+// every attached metric are cleared. Instruments stay wired.
+func (s *Simulator) Reset() {
+	s.hier.Reset()
+	s.cpuCore.Reset()
+	s.fabric.Reset()
+	s.space.Reset()
+	s.sharedHandle = addrspace.Object{}
+	clear(s.touchedObjects)
+	s.pendingFaults = 0
+	s.pendingAcquire = false
+	s.asyncReady = 0
+	s.metrics.Reset()
 }
 
 // Hierarchy exposes the memory system for inspection.
