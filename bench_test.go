@@ -128,6 +128,9 @@ var caseStudyCells = sync.OnceValues(func() ([]harness.Cell, error) {
 
 func BenchmarkFigure5CaseStudies(b *testing.B) {
 	var out string
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells, err := caseStudyCells()
 		if err != nil {
@@ -135,6 +138,15 @@ func BenchmarkFigure5CaseStudies(b *testing.B) {
 		}
 		out = harness.RenderFigure5(cells)
 	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	// Headline numbers for the CI regression gate (cmd/benchcmp): wall
+	// clock and allocated bytes per op. TotalAlloc is cumulative, so the
+	// delta is this benchmark's own allocation.
+	benchJSON.Add(b.Name()+"/ns_op",
+		float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/op")
+	benchJSON.Add(b.Name()+"/alloc_bytes",
+		float64(after.TotalAlloc-before.TotalAlloc)/float64(b.N), "B/op")
 	printArtifact(b, "f5", out)
 }
 
@@ -337,7 +349,7 @@ func BenchmarkAblationConsistency(b *testing.B) {
 				var end clock.Time
 				for _, ph := range p.Phases {
 					if len(ph.CPU) > 0 {
-						end, _ = core.Run(ph.CPU, end)
+						end, _ = core.RunStream(ph.CPU, end)
 					}
 				}
 				total = end.Sub(0)

@@ -1,0 +1,116 @@
+// Command benchcmp compares two benchmark headline reports
+// (BENCH_<date>.json, written by the repository benchmarks with
+// HETSIM_BENCH_JSON set) and fails when performance regressed.
+//
+// Usage:
+//
+//	benchcmp -old prev/BENCH_2026-07-01.json -new BENCH_2026-08-05.json
+//
+// Entries are matched by name. For cost-like units (ns/op, B/op,
+// allocs/op — lower is better) the comparison fails if the new value
+// exceeds the old by more than the threshold (default 10%). Entries
+// present in only one report are listed but never fail the run, so
+// adding or renaming benchmarks does not break CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"heteromem/internal/obs"
+)
+
+// costUnits are units where a larger value means worse performance.
+var costUnits = map[string]bool{
+	"ns/op":     true,
+	"B/op":      true,
+	"allocs/op": true,
+}
+
+func load(path string) (map[string]obs.BenchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r obs.BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]obs.BenchEntry, len(r.Entries))
+	for _, e := range r.Entries {
+		m[e.Name] = e
+	}
+	return m, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcmp: ")
+	var (
+		oldPath   = flag.String("old", "", "baseline BENCH_<date>.json")
+		newPath   = flag.String("new", "", "candidate BENCH_<date>.json")
+		threshold = flag.Float64("threshold", 0.10, "allowed relative regression on cost units")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		log.Fatal("both -old and -new are required")
+	}
+
+	oldE, err := load(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newE, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := make([]string, 0, len(newE))
+	for name := range newE {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		ne := newE[name]
+		oe, ok := oldE[name]
+		if !ok {
+			fmt.Printf("NEW    %-60s %14.1f %s\n", name, ne.Value, ne.Unit)
+			continue
+		}
+		delta := 0.0
+		if oe.Value != 0 {
+			delta = (ne.Value - oe.Value) / oe.Value
+		}
+		status := "ok    "
+		if costUnits[ne.Unit] && oe.Value > 0 && ne.Value > oe.Value*(1+*threshold) {
+			status = "REGRES"
+			regressions++
+		}
+		fmt.Printf("%s %-60s %14.1f -> %14.1f %s (%+.1f%%)\n",
+			status, name, oe.Value, ne.Value, ne.Unit, delta*100)
+	}
+	for name, oe := range oldE {
+		if _, ok := newE[name]; !ok {
+			fmt.Printf("GONE   %-60s %14.1f %s\n", name, oe.Value, oe.Unit)
+		}
+	}
+
+	if regressions > 0 {
+		log.Fatalf("%d entr%s regressed more than %.0f%%",
+			regressions, plural(regressions), *threshold*100)
+	}
+	fmt.Println("benchcmp: no regressions beyond threshold")
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -76,7 +76,7 @@ func main() {
 			log.Fatal(closeErr)
 		}
 	} else {
-		p, err = workload.Generate(*kernel)
+		p, err = workload.Open(*kernel)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -61,12 +61,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		printSummary(fmt.Sprintf("%s", *in), s)
-		dumpHead(s, *dump)
+		printSummary(fmt.Sprintf("%s", *in), trace.NewCursor(s))
+		dumpHead(trace.NewCursor(s), *dump)
 		return
 	}
 
-	p, err := workload.Generate(*kernel)
+	// Open (not Generate): phases stay in generator form and every
+	// summary, dump and export below streams instructions on demand, so
+	// the tool's memory use is O(1) in the trace length.
+	p, err := workload.Open(*kernel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,18 +90,19 @@ func main() {
 	}
 
 	if *info {
-		for i, ph := range p.Phases {
+		for i := range p.Phases {
+			ph := &p.Phases[i]
 			fmt.Printf("phase %d: %s", i, ph.Kind)
 			if ph.Kind == workload.Transfer {
 				fmt.Printf(" %s %d bytes\n", ph.Dir, ph.Bytes)
 				continue
 			}
 			fmt.Println()
-			if len(ph.CPU) > 0 {
-				printSummary("  cpu", ph.CPU)
+			if ph.CPULen() > 0 {
+				printSummary("  cpu", ph.CPUSource())
 			}
-			if len(ph.GPU) > 0 {
-				printSummary("  gpu", ph.GPU)
+			if ph.GPULen() > 0 {
+				printSummary("  gpu", ph.GPUSource())
 			}
 		}
 		return
@@ -107,50 +111,48 @@ func main() {
 	if *phase < 0 || *phase >= len(p.Phases) {
 		log.Fatalf("phase %d out of range (0-%d); use -info to list phases", *phase, len(p.Phases)-1)
 	}
-	ph := p.Phases[*phase]
-	var s trace.Stream
+	ph := &p.Phases[*phase]
+	var src func() trace.Source
+	var total int
 	switch *pu {
 	case "cpu":
-		s = ph.CPU
+		src, total = ph.CPUSource, ph.CPULen()
 	case "gpu":
-		s = ph.GPU
+		src, total = ph.GPUSource, ph.GPULen()
 	default:
 		log.Fatalf("unknown PU %q (cpu or gpu)", *pu)
 	}
-	if len(s) == 0 {
+	if total == 0 {
 		log.Fatalf("phase %d has no %s stream", *phase, *pu)
 	}
-	dumpHead(s, *dump)
+	dumpHead(src(), *dump)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := trace.Write(f, s); err != nil {
+		if err := trace.WriteSource(f, src()); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %d records to %s\n", len(s), *out)
+		fmt.Printf("wrote %d records to %s\n", total, *out)
 	}
 }
 
-func printSummary(label string, s trace.Stream) {
-	st := trace.Summarize(s)
+func printSummary(label string, src trace.Source) {
+	st := trace.SummarizeSource(src)
 	fmt.Printf("%s: %d insts, %d mem ops (%d bytes), %d branches (%.0f%% taken), %d SIMD, %d comm, %d push\n",
 		label, st.Total, st.MemOps, st.MemBytes, st.Branches, st.TakenRate*100, st.SIMDOps, st.CommOps, st.PushOps)
 }
 
-func dumpHead(s trace.Stream, n int) {
-	if n <= 0 {
-		return
-	}
-	if n > len(s) {
-		n = len(s)
-	}
+func dumpHead(src trace.Source, n int) {
 	for i := 0; i < n; i++ {
-		in := s[i]
+		in, ok := src.Next()
+		if !ok {
+			return
+		}
 		fmt.Printf("%6d  pc=%#08x %-10s addr=%#x size=%d deps=%d,%d taken=%v lanes=%d\n",
 			i, in.PC, in.Kind, in.Addr, in.Size, in.Dep1, in.Dep2, in.Taken, in.ActiveLanes())
 	}

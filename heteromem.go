@@ -89,8 +89,15 @@ var (
 // Kernels returns the six Table III kernel names.
 func Kernels() []string { return workload.Names() }
 
-// GenerateKernel builds the named kernel's phase program.
+// GenerateKernel builds the named kernel's phase program with
+// materialized trace streams (for serialization and inspection).
 func GenerateKernel(name string) (*Program, error) { return workload.Generate(name) }
+
+// OpenKernel builds the named kernel's phase program in streaming form:
+// compute phases synthesize their instructions on demand during replay,
+// so opening is O(1) in the kernel's instruction count. Prefer this for
+// simulation; the delivered instructions are identical to GenerateKernel's.
+func OpenKernel(name string) (*Program, error) { return workload.Open(name) }
 
 // NewSimulator returns a simulator for the system with the Table II
 // baseline configuration. A simulator is stateful; use a fresh one per
@@ -105,7 +112,7 @@ func NewSimulatorWithOptions(sys System, opts Options) (*Simulator, error) {
 // RunKernel simulates the named kernel on the system with the baseline
 // configuration and returns its timing breakdown.
 func RunKernel(sys System, kernel string) (Result, error) {
-	p, err := workload.Generate(kernel)
+	p, err := workload.Open(kernel)
 	if err != nil {
 		return Result{}, err
 	}

@@ -271,6 +271,105 @@ func TestResourceMonotonicProperty(t *testing.T) {
 	}
 }
 
+// runEngineScript drives e through a fixed scheduling scenario (including
+// rescheduling from handlers and a partial RunUntil) and returns an
+// execution transcript plus the engine's final observable state.
+func runEngineScript(e *Engine) (transcript []Time, now Time, processed uint64, pending int) {
+	record := func(t Time) { transcript = append(transcript, t) }
+	e.Schedule(30, record)
+	e.Schedule(10, func(t Time) {
+		record(t)
+		e.ScheduleAfter(5, record)
+		e.Schedule(e.Now(), record) // same-time append runs this pass, in FIFO order
+	})
+	e.Schedule(10, record)
+	e.Schedule(20, record)
+	e.RunUntil(12)
+	e.Schedule(40, record)
+	e.Run()
+	return transcript, e.Now(), e.Processed(), e.Pending()
+}
+
+func TestEngineResetVsFresh(t *testing.T) {
+	pooled := NewEngine()
+	pooled.Schedule(7, func(Time) {})
+	pooled.Schedule(7, func(Time) {})
+	pooled.Schedule(99, func(Time) {})
+	pooled.Step() // leave events pending, time advanced
+	pooled.Reset()
+
+	if pooled.Now() != 0 || pooled.Pending() != 0 || pooled.Processed() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d processed=%d",
+			pooled.Now(), pooled.Pending(), pooled.Processed())
+	}
+
+	gotT, gotNow, gotProc, gotPend := runEngineScript(pooled)
+	wantT, wantNow, wantProc, wantPend := runEngineScript(NewEngine())
+	if len(gotT) != len(wantT) {
+		t.Fatalf("transcript length %d vs fresh %d", len(gotT), len(wantT))
+	}
+	for i := range gotT {
+		if gotT[i] != wantT[i] {
+			t.Fatalf("transcript[%d] = %v, fresh %v (got %v want %v)", i, gotT[i], wantT[i], gotT, wantT)
+		}
+	}
+	if gotNow != wantNow || gotProc != wantProc || gotPend != wantPend {
+		t.Fatalf("final state now=%v/%v processed=%d/%d pending=%d/%d",
+			gotNow, wantNow, gotProc, wantProc, gotPend, wantPend)
+	}
+}
+
+func TestEngineZeroValueUsable(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(5, func(Time) { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("zero-value engine did not run its event")
+	}
+}
+
+func TestEngineSameTimeBatching(t *testing.T) {
+	// Many events on one timestamp share a single heap node: scheduling
+	// and draining them must preserve FIFO order and the pending count.
+	e := NewEngine()
+	const n = 1000
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.Schedule(42, func(Time) { order = append(order, i) })
+	}
+	if e.Pending() != n {
+		t.Fatalf("pending = %d, want %d", e.Pending(), n)
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+	if e.Pending() != 0 || e.Processed() != n {
+		t.Fatalf("after run: pending=%d processed=%d", e.Pending(), e.Processed())
+	}
+}
+
+func TestEngineSteadyStateScheduleAllocFree(t *testing.T) {
+	// After a warm-up pass populates the bucket pool, a schedule/run cycle
+	// over recurring timestamps must not allocate per event.
+	e := NewEngine()
+	fn := func(Time) {}
+	cycle := func() {
+		for j := 0; j < 64; j++ {
+			e.Schedule(e.Now().Add(Duration(j%7)), fn)
+		}
+		e.Run()
+	}
+	cycle() // warm the pool and bucket capacities
+	if allocs := testing.AllocsPerRun(20, cycle); allocs > 2 {
+		t.Fatalf("steady-state schedule/run allocates %.1f times per cycle", allocs)
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()

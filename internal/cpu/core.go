@@ -125,15 +125,23 @@ func New(cfg config.CoreConfig, memory Memory, comm CommCoster) *Core {
 // Domain returns the core's clock domain.
 func (c *Core) Domain() *clock.Domain { return c.dom }
 
-// Execution is an in-progress replay of one stream. It lets the
-// simulator co-simulate two cores by alternately advancing whichever is
-// behind in simulated time, so their memory traffic interleaves on
+// Execution is an in-progress replay of one instruction source. It lets
+// the simulator co-simulate two cores by alternately advancing whichever
+// is behind in simulated time, so their memory traffic interleaves on
 // shared resources in time order. A core supports one live Execution at
 // a time (the completion rings are per-core).
+//
+// The execution keeps a one-instruction lookahead pulled from the
+// source, so Done is accurate the moment the last instruction executes
+// (the co-simulation loop in internal/sim depends on that) and pausing at
+// a StepUntil deadline never loses a record.
 type Execution struct {
-	c          *Core
-	s          trace.Stream
-	i          int
+	c    *Core
+	src  trace.Source
+	i    int
+	pend trace.Inst // next instruction to execute (valid when have)
+	have bool
+
 	start      clock.Time
 	cur        clock.Time // dispatch-cycle clock
 	issued     int        // instructions dispatched this cycle
@@ -142,35 +150,49 @@ type Execution struct {
 	stats      Stats
 }
 
-// Begin starts replaying the stream at time at.
-func (c *Core) Begin(s trace.Stream, at clock.Time) *Execution {
-	return &Execution{c: c, s: s, start: at, cur: at}
+// Begin starts replaying the source at time at. A nil source is an empty
+// execution.
+func (c *Core) Begin(src trace.Source, at clock.Time) *Execution {
+	e := &Execution{c: c, src: src, start: at, cur: at}
+	if src != nil {
+		e.pend, e.have = src.Next()
+	}
+	return e
 }
 
-// Run replays the stream starting at start to completion and returns the
+// Run replays the source starting at start to completion and returns the
 // completion time of the last instruction (including drained stores) and
 // run statistics. Run may be called repeatedly; predictor state persists
 // across calls (warm predictor), ring state does not need clearing
 // because every slot is written before it is read within a run.
-func (c *Core) Run(s trace.Stream, start clock.Time) (clock.Time, Stats) {
-	e := c.Begin(s, start)
+func (c *Core) Run(src trace.Source, start clock.Time) (clock.Time, Stats) {
+	e := Execution{c: c, src: src, start: start, cur: start}
+	if src != nil {
+		e.pend, e.have = src.Next()
+	}
 	e.StepUntil(clock.Time(^uint64(0)))
 	return e.End()
 }
 
+// RunStream is Run over an in-memory stream.
+func (c *Core) RunStream(s trace.Stream, start clock.Time) (clock.Time, Stats) {
+	cur := trace.Cursor{}
+	return c.Run(cur.Bind(s), start)
+}
+
 // Done reports whether every instruction has executed.
-func (e *Execution) Done() bool { return e.i >= len(e.s) }
+func (e *Execution) Done() bool { return !e.have }
 
 // Now returns the dispatch clock — where the front end currently is.
 func (e *Execution) Now() clock.Time { return e.cur }
 
 // StepUntil executes instructions while the dispatch clock is at or
-// before deadline (and the stream has instructions left). It always makes
+// before deadline (and the source has instructions left). It always makes
 // progress when called with deadline >= Now().
 func (e *Execution) StepUntil(deadline clock.Time) {
 	c := e.c
-	for e.i < len(e.s) && e.cur <= deadline {
-		i, in := e.i, e.s[e.i]
+	for e.have && e.cur <= deadline {
+		i, in := e.i, e.pend
 		if e.issued >= c.cfg.IssueWidth {
 			e.cur = e.cur.Add(c.cycle)
 			e.issued = 0
@@ -280,6 +302,7 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 		e.stats.Instructions++
 		c.obs.instructions.Inc()
 		e.i++
+		e.pend, e.have = e.src.Next()
 	}
 }
 

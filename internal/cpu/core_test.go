@@ -47,7 +47,7 @@ func alu(n int) trace.Stream {
 func TestIndependentALUIssuesAtFullWidth(t *testing.T) {
 	c := newCore(&fakeMem{}, nil)
 	n := 4000
-	end, st := c.Run(alu(n), 0)
+	end, st := c.RunStream(alu(n), 0)
 	cycles := c.Domain().DurationToCycles(end.Sub(0))
 	// 4-wide issue: ~n/4 cycles (a couple of cycles of slack at the ends).
 	want := uint64(n / 4)
@@ -66,7 +66,7 @@ func TestDependencyChainSerialises(t *testing.T) {
 	for i := range s {
 		s[i] = trace.Inst{PC: uint64(i) * 4, Kind: isa.ALU, Dep1: 1}
 	}
-	end, _ := c.Run(s, 0)
+	end, _ := c.RunStream(s, 0)
 	cycles := c.Domain().DurationToCycles(end.Sub(0))
 	// A serial chain of 1-cycle ops takes ~n cycles, not n/4.
 	if cycles < uint64(n)-2 {
@@ -85,10 +85,10 @@ func TestMispredictStallsDispatch(t *testing.T) {
 	}
 	// Steady branch: learned quickly.
 	cSteady := newCore(&fakeMem{}, nil)
-	endSteady, stSteady := cSteady.Run(mkStream(func(int) bool { return true }), 0)
+	endSteady, stSteady := cSteady.RunStream(mkStream(func(int) bool { return true }), 0)
 	// Pseudo-random branch: mispredicts often.
 	cRand := newCore(&fakeMem{}, nil)
-	endRand, stRand := cRand.Run(mkStream(func(i int) bool { return (i*2654435761)>>13&1 == 0 }), 0)
+	endRand, stRand := cRand.RunStream(mkStream(func(i int) bool { return (i*2654435761)>>13&1 == 0 }), 0)
 	if stRand.Mispredicts <= stSteady.Mispredicts {
 		t.Fatalf("random branches mispredicted %d <= steady %d", stRand.Mispredicts, stSteady.Mispredicts)
 	}
@@ -105,7 +105,7 @@ func TestLoadLatencyExposedThroughDeps(t *testing.T) {
 		{Kind: isa.Load, Addr: 0x1000, Size: 8},
 		{Kind: isa.ALU, Dep1: 1},
 	}
-	end, st := c.Run(s, 0)
+	end, st := c.RunStream(s, 0)
 	if end.Sub(0) < 100*clock.Nanosecond {
 		t.Fatalf("dependent ALU did not wait for load: end %v", end)
 	}
@@ -123,7 +123,7 @@ func TestIndependentLoadsOverlap(t *testing.T) {
 		{Kind: isa.Load, Addr: 0x3000, Size: 8},
 		{Kind: isa.Load, Addr: 0x4000, Size: 8},
 	}
-	end, _ := c.Run(s, 0)
+	end, _ := c.RunStream(s, 0)
 	// All four overlap: total ≈ one load latency, not four.
 	if end.Sub(0) > 150*clock.Nanosecond {
 		t.Fatalf("independent loads serialised: %v", end.Sub(0))
@@ -137,7 +137,7 @@ func TestStoreDoesNotBlockButBarrierDrains(t *testing.T) {
 		{Kind: isa.Store, Addr: 0x1000, Size: 8},
 		{Kind: isa.ALU, Dep1: 1},
 	}
-	end, _ := c.Run(s, 0)
+	end, _ := c.RunStream(s, 0)
 	// Dependent of a store sees the store buffer, not memory... but the
 	// run end includes the drain.
 	if end.Sub(0) < 100*clock.Nanosecond {
@@ -150,7 +150,7 @@ func TestStoreDoesNotBlockButBarrierDrains(t *testing.T) {
 		{Kind: isa.Barrier},
 		{Kind: isa.ALU},
 	}
-	end2, _ := c2.Run(s2, 0)
+	end2, _ := c2.RunStream(s2, 0)
 	if end2.Sub(0) < 100*clock.Nanosecond {
 		t.Fatal("barrier did not wait for store drain")
 	}
@@ -166,7 +166,7 @@ func TestROBLimitsRunahead(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		s = append(s, trace.Inst{PC: uint64(i) * 4, Kind: isa.ALU})
 	}
-	end, _ := c.Run(s, 0)
+	end, _ := c.RunStream(s, 0)
 	if end.Sub(0) < 10*clock.Microsecond {
 		t.Fatalf("ROB did not limit runahead: %v", end.Sub(0))
 	}
@@ -180,7 +180,7 @@ func TestCommSerialisesAndAccumulates(t *testing.T) {
 		{Kind: isa.APIPCI, Size: 65536},
 		{Kind: isa.ALU},
 	}
-	end, st := c.Run(s, 0)
+	end, st := c.RunStream(s, 0)
 	want := params.Latency(isa.APIPCI, 65536)
 	if st.CommTime != want {
 		t.Fatalf("CommTime = %v, want %v", st.CommTime, want)
@@ -197,7 +197,7 @@ func TestPushRoutedToMemory(t *testing.T) {
 	m := &fakeMem{lat: clock.Nanosecond}
 	c := newCore(m, nil)
 	s := trace.Stream{{Kind: isa.Push, Addr: 0x1000, Size: 4096, PushLevel: trace.PushShared}}
-	_, st := c.Run(s, 0)
+	_, st := c.RunStream(s, 0)
 	if m.pushes != 1 || st.PushOps != 1 {
 		t.Fatalf("push not routed: mem=%d stat=%d", m.pushes, st.PushOps)
 	}
@@ -210,12 +210,12 @@ func TestStrongConsistencySlowerOnStores(t *testing.T) {
 		s = append(s, trace.Inst{PC: uint64(i), Kind: isa.ALU})
 	}
 	weak := newCore(&fakeMem{lat: 50 * clock.Nanosecond}, nil)
-	weakEnd, _ := weak.Run(s, 0)
+	weakEnd, _ := weak.RunStream(s, 0)
 
 	cfg := config.BaselineCPU()
 	cfg.StrongConsistency = true
 	strong := New(cfg, &fakeMem{lat: 50 * clock.Nanosecond}, zeroComm)
-	strongEnd, _ := strong.Run(s, 0)
+	strongEnd, _ := strong.RunStream(s, 0)
 
 	// SC serialises on every store: ~500 x 50ns = 25us minimum. Weak
 	// overlaps everything behind the store buffer.
@@ -235,7 +235,7 @@ func TestRunAgainstRealHierarchy(t *testing.T) {
 		s = append(s, trace.Inst{PC: uint64(i%128) * 4, Kind: isa.Load, Addr: uint64(i%64) * 64, Size: 8})
 		s = append(s, trace.Inst{PC: uint64(i%128)*4 + 1, Kind: isa.ALU, Dep1: 1})
 	}
-	end, st := c.Run(s, 0)
+	end, st := c.RunStream(s, 0)
 	if end == 0 || st.Instructions != 10000 {
 		t.Fatalf("run failed: end=%v st=%+v", end, st)
 	}
@@ -252,7 +252,7 @@ func TestRunAgainstRealHierarchy(t *testing.T) {
 func TestStatsDuration(t *testing.T) {
 	c := newCore(&fakeMem{}, nil)
 	start := clock.Time(5 * clock.Microsecond)
-	end, st := c.Run(alu(100), start)
+	end, st := c.RunStream(alu(100), start)
 	if st.Duration != end.Sub(start) {
 		t.Fatalf("Duration %v != end-start %v", st.Duration, end.Sub(start))
 	}
@@ -260,7 +260,7 @@ func TestStatsDuration(t *testing.T) {
 
 func TestEmptyStream(t *testing.T) {
 	c := newCore(&fakeMem{}, nil)
-	end, st := c.Run(nil, 42)
+	end, st := c.RunStream(nil, 42)
 	if end != 42 || st.Instructions != 0 {
 		t.Fatalf("empty run: end=%v st=%+v", end, st)
 	}
@@ -272,7 +272,7 @@ func BenchmarkRunALU(b *testing.B) {
 	b.ResetTimer()
 	var now clock.Time
 	for i := 0; i < b.N; i++ {
-		now, _ = c.Run(s, now)
+		now, _ = c.RunStream(s, now)
 	}
 }
 
@@ -293,6 +293,6 @@ func BenchmarkRunMixed(b *testing.B) {
 	b.ResetTimer()
 	var now clock.Time
 	for i := 0; i < b.N; i++ {
-		now, _ = c.Run(s, now)
+		now, _ = c.RunStream(s, now)
 	}
 }

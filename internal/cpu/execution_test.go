@@ -30,10 +30,10 @@ func TestExecutionStepwiseMatchesRun(t *testing.T) {
 	}
 
 	cRun := newCore(&fakeMem{lat: 50 * clock.Nanosecond}, nil)
-	endRun, stRun := cRun.Run(mk(), 0)
+	endRun, stRun := cRun.RunStream(mk(), 0)
 
 	cStep := newCore(&fakeMem{lat: 50 * clock.Nanosecond}, nil)
-	e := cStep.Begin(mk(), 0)
+	e := cStep.Begin(trace.NewCursor(mk()), 0)
 	deadline := clock.Time(0)
 	for !e.Done() {
 		deadline = deadline.Add(100 * clock.Nanosecond)
@@ -51,7 +51,7 @@ func TestExecutionStepwiseMatchesRun(t *testing.T) {
 
 func TestExecutionProgressGuarantee(t *testing.T) {
 	c := newCore(&fakeMem{}, nil)
-	e := c.Begin(alu(100), 0)
+	e := c.Begin(trace.NewCursor(alu(100)), 0)
 	// A deadline equal to Now always allows at least one instruction.
 	for i := 0; i < 100 && !e.Done(); i++ {
 		before := e.i
@@ -67,7 +67,7 @@ func TestExecutionProgressGuarantee(t *testing.T) {
 
 func TestExecutionEndPanicsIfUnfinished(t *testing.T) {
 	c := newCore(&fakeMem{}, nil)
-	e := c.Begin(alu(1000), 0)
+	e := c.Begin(trace.NewCursor(alu(1000)), 0)
 	e.StepUntil(0) // a handful of instructions at most
 	if e.Done() {
 		t.Skip("stream completed in one step")
@@ -87,7 +87,7 @@ func TestExecutionNowMonotonic(t *testing.T) {
 		s = append(s, trace.Inst{PC: uint64(i), Kind: isa.Load, Addr: uint64(i) * 64, Size: 8})
 		s = append(s, trace.Inst{PC: uint64(i), Kind: isa.ALU, Dep1: 1})
 	}
-	e := c.Begin(s, 0)
+	e := c.Begin(trace.NewCursor(s), 0)
 	prev := e.Now()
 	for !e.Done() {
 		e.StepUntil(prev.Add(clock.Microsecond))
@@ -100,7 +100,7 @@ func TestExecutionNowMonotonic(t *testing.T) {
 
 func TestExecutionEmptyStream(t *testing.T) {
 	c := newCore(&fakeMem{}, nil)
-	e := c.Begin(nil, 99)
+	e := c.Begin(trace.NewCursor(nil), 99)
 	if !e.Done() {
 		t.Fatal("empty execution not done")
 	}

@@ -1,0 +1,36 @@
+package gpu
+
+import (
+	"testing"
+
+	"heteromem/internal/isa"
+	"heteromem/internal/trace"
+)
+
+// TestRunAllocBudget pins the GPU replay hot path at zero heap
+// allocations per Run, mirroring the CPU core's budget: replay cost must
+// stay independent of trace length.
+func TestRunAllocBudget(t *testing.T) {
+	c := newCore(newFake(100))
+	s := make(trace.Stream, 10000)
+	for i := range s {
+		switch i % 4 {
+		case 0:
+			s[i] = trace.Inst{PC: uint64(i) * 4, Kind: isa.SIMDLoad, Addr: uint64(i) * 32, Size: 32, Lanes: 8}
+		case 1:
+			s[i] = trace.Inst{PC: uint64(i) * 4, Kind: isa.SIMDFP, Dep1: 1}
+		case 2:
+			s[i] = trace.Inst{PC: uint64(i) * 4, Kind: isa.Branch, Taken: true}
+		default:
+			s[i] = trace.Inst{PC: uint64(i) * 4, Kind: isa.SIMDStore, Addr: uint64(i) * 32, Size: 32, Lanes: 8, Dep1: 2}
+		}
+	}
+	cur := trace.NewCursor(s)
+	avg := testing.AllocsPerRun(20, func() {
+		cur.Reset()
+		c.Run(cur, 0)
+	})
+	if avg != 0 {
+		t.Errorf("gpu.Core.Run allocates %.1f objects per replay, want 0", avg)
+	}
+}

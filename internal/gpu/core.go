@@ -122,46 +122,69 @@ func New(cfg config.CoreConfig, memory Memory, comm CommCoster, swLat clock.Dura
 // Domain returns the core's clock domain.
 func (c *Core) Domain() *clock.Domain { return c.dom }
 
-// Execution is an in-progress replay of one stream, advanceable in
-// bounded steps so the simulator can co-simulate the GPU with the CPU in
-// time order. A core supports one live Execution at a time.
+// Execution is an in-progress replay of one instruction source,
+// advanceable in bounded steps so the simulator can co-simulate the GPU
+// with the CPU in time order. A core supports one live Execution at a
+// time.
+//
+// Like the CPU's Execution, it keeps a one-instruction lookahead pulled
+// from the source so Done is accurate the moment the last instruction
+// executes.
 type Execution struct {
-	c       *Core
-	s       trace.Stream
-	i       int
+	c    *Core
+	src  trace.Source
+	i    int
+	pend trace.Inst // next instruction to execute (valid when have)
+	have bool
+
 	start   clock.Time
 	cur     clock.Time
 	maxComp clock.Time
 	stats   Stats
 }
 
-// Begin starts replaying the stream at time at.
-func (c *Core) Begin(s trace.Stream, at clock.Time) *Execution {
-	return &Execution{c: c, s: s, start: at, cur: at}
+// Begin starts replaying the source at time at. A nil source is an empty
+// execution.
+func (c *Core) Begin(src trace.Source, at clock.Time) *Execution {
+	e := &Execution{c: c, src: src, start: at, cur: at}
+	if src != nil {
+		e.pend, e.have = src.Next()
+	}
+	return e
 }
 
-// Run replays the stream starting at start to completion and returns the
+// Run replays the source starting at start to completion and returns the
 // completion time of the last instruction (with memory drained) and
 // statistics.
-func (c *Core) Run(s trace.Stream, start clock.Time) (clock.Time, Stats) {
-	e := c.Begin(s, start)
+func (c *Core) Run(src trace.Source, start clock.Time) (clock.Time, Stats) {
+	e := Execution{c: c, src: src, start: start, cur: start}
+	if src != nil {
+		e.pend, e.have = src.Next()
+	}
 	e.StepUntil(clock.Time(^uint64(0)))
 	return e.End()
 }
 
+// RunStream is Run over an in-memory stream.
+func (c *Core) RunStream(s trace.Stream, start clock.Time) (clock.Time, Stats) {
+	cur := trace.Cursor{}
+	return c.Run(cur.Bind(s), start)
+}
+
 // Done reports whether every instruction has executed.
-func (e *Execution) Done() bool { return e.i >= len(e.s) }
+func (e *Execution) Done() bool { return !e.have }
 
 // Now returns the in-order issue clock.
 func (e *Execution) Now() clock.Time { return e.cur }
 
 // StepUntil executes instructions while the issue clock is at or before
-// deadline (and the stream has instructions left).
+// deadline (and the source has instructions left).
 func (e *Execution) StepUntil(deadline clock.Time) {
 	c := e.c
-	for e.i < len(e.s) && e.cur <= deadline {
-		i, in := e.i, e.s[e.i]
+	for e.have && e.cur <= deadline {
+		i, in := e.i, e.pend
 		e.i++
+		e.pend, e.have = e.src.Next()
 		// Dependencies pointing before the stream start are ignored: the
 		// producer ran in an earlier phase and has long completed.
 		ready := e.cur

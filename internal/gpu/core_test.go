@@ -51,7 +51,7 @@ func TestInOrderSingleIssue(t *testing.T) {
 	for i := range s {
 		s[i] = trace.Inst{PC: uint64(i) * 4, Kind: isa.SIMDALU}
 	}
-	end, st := c.Run(s, 0)
+	end, st := c.RunStream(s, 0)
 	cycles := c.Domain().DurationToCycles(end.Sub(0))
 	// Single issue: about one cycle per instruction.
 	if cycles+4 < uint64(n) {
@@ -73,7 +73,7 @@ func TestBranchStalls(t *testing.T) {
 	for i := 0; i < nBr; i++ {
 		s = append(s, trace.Inst{PC: uint64(i) * 4, Kind: isa.Branch, Taken: true})
 	}
-	end, st := c.Run(s, 0)
+	end, st := c.RunStream(s, 0)
 	cycles := c.Domain().DurationToCycles(end.Sub(0))
 	// Every branch stalls: 1 (resolve) + BranchStall cycles each.
 	minCycles := uint64(nBr) * (1 + config.BaselineGPU().BranchStall)
@@ -92,7 +92,7 @@ func TestCoalescingReducesRequests(t *testing.T) {
 
 	mc := newFake(10 * clock.Nanosecond)
 	c := newCore(mc)
-	_, st := c.Run(trace.Stream{in}, 0)
+	_, st := c.RunStream(trace.Stream{in}, 0)
 	if st.LineRequests != 1 || mc.accesses != 1 {
 		t.Fatalf("coalesced: %d line requests, want 1", st.LineRequests)
 	}
@@ -100,7 +100,7 @@ func TestCoalescingReducesRequests(t *testing.T) {
 	mu := newFake(10 * clock.Nanosecond)
 	u := newCore(mu)
 	u.Coalesce = false
-	_, st = u.Run(trace.Stream{in}, 0)
+	_, st = u.RunStream(trace.Stream{in}, 0)
 	if st.LineRequests != 8 || mu.accesses != 8 {
 		t.Fatalf("uncoalesced: %d line requests, want 8", st.LineRequests)
 	}
@@ -111,7 +111,7 @@ func TestCoalescingSpanningLines(t *testing.T) {
 	in := trace.Inst{Kind: isa.SIMDLoad, Addr: 0x1000, Size: 256, Lanes: 8}
 	m := newFake(0)
 	c := newCore(m)
-	_, st := c.Run(trace.Stream{in}, 0)
+	_, st := c.RunStream(trace.Stream{in}, 0)
 	if st.LineRequests != 4 {
 		t.Fatalf("256B aligned burst: %d line requests, want 4", st.LineRequests)
 	}
@@ -126,7 +126,7 @@ func TestStallOnUse(t *testing.T) {
 		{Kind: isa.SIMDLoad, Addr: 0x1000, Size: 32},
 		{Kind: isa.SIMDFP, Dep1: 1},
 	}
-	end, _ := c.Run(s, 0)
+	end, _ := c.RunStream(s, 0)
 	if end.Sub(0) < lat {
 		t.Fatal("dependent op did not wait for load")
 	}
@@ -139,7 +139,7 @@ func TestStallOnUse(t *testing.T) {
 		{Kind: isa.SIMDFP},
 		{Kind: isa.SIMDFP},
 	}
-	end2, _ := c2.Run(s2, 0)
+	end2, _ := c2.RunStream(s2, 0)
 	slack := 20 * clock.Nanosecond
 	if end2.Sub(0) > lat+slack {
 		t.Fatalf("independent ops did not overlap the load: %v", end2.Sub(0))
@@ -155,7 +155,7 @@ func TestSoftwareCacheHitAndMiss(t *testing.T) {
 		{Kind: isa.SWLoad, Addr: 0x1000, Size: 4, Dep1: 1},
 		{Kind: isa.SWLoad, Addr: 0x9000, Size: 4, Dep1: 1}, // never placed
 	}
-	_, st := c.Run(s, 0)
+	_, st := c.RunStream(s, 0)
 	if st.SWHits != 1 {
 		t.Fatalf("SW hits = %d, want 1", st.SWHits)
 	}
@@ -172,7 +172,7 @@ func TestCommSerialises(t *testing.T) {
 		{Kind: isa.APITransfer, Size: 4096},
 		{Kind: isa.SIMDALU},
 	}
-	end, st := c.Run(s, 0)
+	end, st := c.RunStream(s, 0)
 	want := params.Latency(isa.APITransfer, 4096)
 	if st.CommTime != want {
 		t.Fatalf("CommTime %v, want %v", st.CommTime, want)
@@ -190,7 +190,7 @@ func TestBarrierDrainsMemory(t *testing.T) {
 		{Kind: isa.SIMDStore, Addr: 0x1000, Size: 32},
 		{Kind: isa.Barrier},
 	}
-	end, _ := c.Run(s, 0)
+	end, _ := c.RunStream(s, 0)
 	if end.Sub(0) < lat {
 		t.Fatal("barrier did not drain the store")
 	}
@@ -204,7 +204,7 @@ func TestRunAgainstRealHierarchy(t *testing.T) {
 		s = append(s, trace.Inst{PC: uint64(i) * 4, Kind: isa.SIMDLoad, Addr: uint64(i%32) * 64, Size: 32})
 		s = append(s, trace.Inst{PC: uint64(i)*4 + 1, Kind: isa.SIMDFP, Dep1: 1})
 	}
-	end, st := c.Run(s, 0)
+	end, st := c.RunStream(s, 0)
 	if end == 0 || st.Instructions != 4000 {
 		t.Fatalf("run failed: %+v", st)
 	}
@@ -215,7 +215,7 @@ func TestRunAgainstRealHierarchy(t *testing.T) {
 
 func TestEmptyStream(t *testing.T) {
 	c := newCore(newFake(0))
-	end, st := c.Run(nil, 7)
+	end, st := c.RunStream(nil, 7)
 	if end != 7 || st.Instructions != 0 {
 		t.Fatalf("empty run: end=%v st=%+v", end, st)
 	}
@@ -235,6 +235,6 @@ func BenchmarkRunSIMD(b *testing.B) {
 	b.ResetTimer()
 	var now clock.Time
 	for i := 0; i < b.N; i++ {
-		now, _ = c.Run(s, now)
+		now, _ = c.RunStream(s, now)
 	}
 }

@@ -27,10 +27,10 @@ func TestExecutionStepwiseMatchesRun(t *testing.T) {
 	}
 
 	cRun := newCore(newFake(30 * clock.Nanosecond))
-	endRun, stRun := cRun.Run(mk(), 0)
+	endRun, stRun := cRun.RunStream(mk(), 0)
 
 	cStep := newCore(newFake(30 * clock.Nanosecond))
-	e := cStep.Begin(mk(), 0)
+	e := cStep.Begin(trace.NewCursor(mk()), 0)
 	deadline := clock.Time(0)
 	for !e.Done() {
 		deadline = deadline.Add(200 * clock.Nanosecond)
@@ -52,7 +52,7 @@ func TestExecutionProgressGuarantee(t *testing.T) {
 	for i := range s {
 		s[i] = trace.Inst{PC: uint64(i), Kind: isa.SIMDALU}
 	}
-	e := c.Begin(s, 0)
+	e := c.Begin(trace.NewCursor(s), 0)
 	for i := 0; i < 50 && !e.Done(); i++ {
 		before := e.i
 		e.StepUntil(e.Now())
@@ -71,7 +71,7 @@ func TestExecutionEndPanicsIfUnfinished(t *testing.T) {
 	for i := range s {
 		s[i] = trace.Inst{PC: uint64(i), Kind: isa.SIMDALU}
 	}
-	e := c.Begin(s, clock.Time(clock.Microsecond))
+	e := c.Begin(trace.NewCursor(s), clock.Time(clock.Microsecond))
 	e.StepUntil(clock.Time(clock.Microsecond)) // one or two instructions
 	if e.Done() {
 		t.Skip("stream completed in one step")
@@ -86,7 +86,7 @@ func TestExecutionEndPanicsIfUnfinished(t *testing.T) {
 
 func TestExecutionEmptyStream(t *testing.T) {
 	c := newCore(newFake(0))
-	e := c.Begin(nil, 7)
+	e := c.Begin(trace.NewCursor(nil), 7)
 	if !e.Done() {
 		t.Fatal("empty execution not done")
 	}

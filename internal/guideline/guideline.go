@@ -164,7 +164,7 @@ func Evaluate(kernels []string, w Weights) ([]Score, error) {
 }
 
 func runOne(sys systems.System, kernel string) (sim.Result, error) {
-	p, err := workload.Generate(kernel)
+	p, err := workload.Open(kernel)
 	if err != nil {
 		return sim.Result{}, err
 	}

@@ -87,7 +87,7 @@ func (e Executor) RunAddressSpaces(kernels []string) ([]Cell, error) {
 func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell, error) {
 	programs := make([]*workload.Program, len(kernels))
 	for i, kernel := range kernels {
-		p, err := workload.Generate(kernel)
+		p, err := internProgram(kernel)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"sync"
+
+	"heteromem/internal/workload"
+)
+
+// programs interns one immutable streaming Program per kernel for the
+// lifetime of the process. An opened program is read-only — compute
+// phases carry generator parameters, and every replay draws a fresh
+// cursor — so a single interned instance is safely shared by all sweep
+// workers and repeated sweeps, instead of re-synthesising multi-million
+// instruction traces per RunSystems call.
+var programs sync.Map // kernel name -> *workload.Program
+
+// internProgram returns the shared streaming program for the kernel.
+func internProgram(kernel string) (*workload.Program, error) {
+	if p, ok := programs.Load(kernel); ok {
+		return p.(*workload.Program), nil
+	}
+	p, err := workload.Open(kernel)
+	if err != nil {
+		return nil, err
+	}
+	// A racing worker may have stored first; both built identical
+	// programs, keep whichever won.
+	actual, _ := programs.LoadOrStore(kernel, p)
+	return actual.(*workload.Program), nil
+}

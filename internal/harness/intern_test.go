@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInternProgramSharesOneInstance(t *testing.T) {
+	a, err := internProgram("reduction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := internProgram("reduction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("internProgram returned distinct instances for one kernel")
+	}
+	if _, err := internProgram("no-such-kernel"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestInternProgramConcurrent(t *testing.T) {
+	const workers = 16
+	got := make([]interface{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := internProgram("convolution")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[w] = p
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Fatalf("worker %d saw a different interned program", w)
+		}
+	}
+}

@@ -134,7 +134,20 @@ type Simulator struct {
 	metrics *obs.Registry
 	sampler *obs.Sampler
 	tracer  *obs.Tracer
+
+	// Scratch buffers reused across phases and runs so the replay path
+	// does not allocate per phase: the parallel-phase prologue and the
+	// locality-scheme push streams are rebuilt in place each time.
+	prologue  trace.Stream
+	cpuPushes trace.Stream
+	gpuPushes trace.Stream
 }
+
+// Single-instruction API-call streams used by transfer phases; immutable.
+var (
+	acquireStream = trace.Stream{{Kind: isa.APIAcquire}}
+	releaseStream = trace.Stream{{Kind: isa.APIRelease}}
+)
 
 // New returns a simulator for the system with the Table II baseline.
 func New(sys systems.System) (*Simulator, error) {
@@ -312,7 +325,8 @@ func (s *Simulator) Run(p *workload.Program) (Result, error) {
 	now := clock.Time(0)
 	now = s.applyLocality(p, now, &res)
 	s.sampler.Advance(uint64(now))
-	for i, ph := range p.Phases {
+	for i := range p.Phases {
+		ph := &p.Phases[i]
 		phaseStart := now
 		var err error
 		switch ph.Kind {
@@ -360,23 +374,23 @@ func (s *Simulator) applyLocality(p *workload.Program, now clock.Time, res *Resu
 	if s.scheme == nil {
 		return now
 	}
-	var cpuPushes, gpuPushes trace.Stream
+	s.cpuPushes, s.gpuPushes = s.cpuPushes[:0], s.gpuPushes[:0]
 	for _, op := range locality.Plan(*s.scheme, p.Objects) {
 		in := trace.Inst{Kind: isa.Push, Addr: op.Addr, Size: op.Size, PushLevel: op.Level}
 		if op.PU == mem.CPU {
-			cpuPushes = append(cpuPushes, in)
+			s.cpuPushes = append(s.cpuPushes, in)
 		} else {
-			gpuPushes = append(gpuPushes, in)
+			s.gpuPushes = append(s.gpuPushes, in)
 		}
 	}
 	end := now
-	if len(cpuPushes) > 0 {
-		cEnd, cst := s.cpuCore.Run(cpuPushes, now)
+	if len(s.cpuPushes) > 0 {
+		cEnd, cst := s.cpuCore.RunStream(s.cpuPushes, now)
 		addCPUStats(&res.CPU, cst)
 		end = clock.Max(end, cEnd)
 	}
-	if len(gpuPushes) > 0 {
-		gEnd, gst := s.gpuCore.Run(gpuPushes, now)
+	if len(s.gpuPushes) > 0 {
+		gEnd, gst := s.gpuCore.RunStream(s.gpuPushes, now)
 		addGPUStats(&res.GPU, gst)
 		end = clock.Max(end, gEnd)
 	}
@@ -384,22 +398,22 @@ func (s *Simulator) applyLocality(p *workload.Program, now clock.Time, res *Resu
 	return end
 }
 
-func (s *Simulator) runSequential(ph workload.Phase, now clock.Time, res *Result) clock.Time {
-	end, st := s.cpuCore.Run(ph.CPU, now)
+func (s *Simulator) runSequential(ph *workload.Phase, now clock.Time, res *Result) clock.Time {
+	end, st := s.cpuCore.Run(ph.CPUSource(), now)
 	res.Sequential += st.Duration - st.CommTime
 	res.Communication += st.CommTime
 	addCPUStats(&res.CPU, st)
 	return end
 }
 
-func (s *Simulator) runParallel(ph workload.Phase, now clock.Time, res *Result) clock.Time {
+func (s *Simulator) runParallel(ph *workload.Phase, now clock.Time, res *Result) clock.Time {
 	start := now
 	gpuStart := start
 
 	// LRB programming-model events at kernel entry: the GPU acquires
 	// ownership of the shared data, then faults once per freshly shared
 	// object.
-	var prologue trace.Stream
+	prologue := s.prologue[:0]
 	if s.pendingAcquire {
 		prologue = append(prologue, trace.Inst{Kind: isa.APIAcquire})
 		s.pendingAcquire = false
@@ -420,8 +434,9 @@ func (s *Simulator) runParallel(ph workload.Phase, now clock.Time, res *Result) 
 	}
 	res.PageFaults += s.pendingFaults
 	s.pendingFaults = 0
+	s.prologue = prologue // keep any growth for the next phase
 	if len(prologue) > 0 {
-		end, st := s.gpuCore.Run(prologue, gpuStart)
+		end, st := s.gpuCore.RunStream(prologue, gpuStart)
 		if s.tracer != nil {
 			s.tracer.Span(obs.TrackGPU, "prologue", "model", uint64(gpuStart), uint64(end), nil)
 		}
@@ -433,8 +448,8 @@ func (s *Simulator) runParallel(ph workload.Phase, now clock.Time, res *Result) 
 	// behind in simulated time up to the other's clock, so their traffic
 	// interleaves on the shared hierarchy (ring links, L3 tiles, DRAM) in
 	// time order instead of one core reserving everything first.
-	ge := s.gpuCore.Begin(ph.GPU, gpuStart)
-	ce := s.cpuCore.Begin(ph.CPU, start)
+	ge := s.gpuCore.Begin(ph.GPUSource(), gpuStart)
+	ce := s.cpuCore.Begin(ph.CPUSource(), start)
 	const forever = clock.Time(^uint64(0))
 	for !ge.Done() || !ce.Done() {
 		switch {
@@ -495,7 +510,7 @@ func minDur(a, b clock.Duration) clock.Duration {
 	return b
 }
 
-func (s *Simulator) runTransfer(ph workload.Phase, now clock.Time, res *Result) (clock.Time, error) {
+func (s *Simulator) runTransfer(ph *workload.Phase, now clock.Time, res *Result) (clock.Time, error) {
 	if ph.Dir == workload.DeviceToHost && s.sys.SkipDeviceToHost {
 		// The result already lives in a space the CPU can address. The
 		// LRB model still hands ownership back to the CPU; GMAC waits for
@@ -506,7 +521,7 @@ func (s *Simulator) runTransfer(ph workload.Phase, now clock.Time, res *Result) 
 			}
 			s.tracer.Instant(obs.TrackGPU, "cache-flush", "model", uint64(now), nil)
 			s.tracer.Instant(obs.TrackCPU, "acquire-ownership", "model", uint64(now), nil)
-			end, st := s.cpuCore.Run(trace.Stream{{Kind: isa.APIAcquire}}, now)
+			end, st := s.cpuCore.RunStream(acquireStream, now)
 			res.Communication += end.Sub(now)
 			addCPUStats(&res.CPU, st)
 			res.OwnershipOps++
@@ -536,7 +551,7 @@ func (s *Simulator) runTransfer(ph workload.Phase, now clock.Time, res *Result) 
 		}
 		s.tracer.Instant(obs.TrackCPU, "cache-flush", "model", uint64(now), nil)
 		s.tracer.Instant(obs.TrackCPU, "release-ownership", "model", uint64(now), nil)
-		end, st := s.cpuCore.Run(trace.Stream{{Kind: isa.APIRelease}}, now)
+		end, st := s.cpuCore.RunStream(releaseStream, now)
 		res.Communication += end.Sub(now)
 		addCPUStats(&res.CPU, st)
 		res.OwnershipOps++

@@ -25,22 +25,47 @@ const (
 
 // Write serialises the stream to w in the binary trace format.
 func Write(w io.Writer, s Stream) error {
+	return WriteSource(w, NewCursor(s))
+}
+
+// WriteSource serialises src to w in the binary trace format, encoding
+// one record at a time: the trace is never buffered in memory, so a
+// multi-million-instruction generator streams straight to disk. The
+// record count in the header is src.Len(); src must deliver exactly that
+// many instructions from its current position (a freshly opened or Reset
+// source does).
+func WriteSource(w io.Writer, src Source) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
+	n := 0
+	if src != nil {
+		n = src.Len()
+	}
 	var hdr [10]byte
 	binary.LittleEndian.PutUint16(hdr[0:2], version)
-	binary.LittleEndian.PutUint64(hdr[2:10], uint64(len(s)))
+	binary.LittleEndian.PutUint64(hdr[2:10], uint64(n))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
 	var rec [recordBytes]byte
-	for _, in := range s {
-		encodeRecord(&rec, in)
-		if _, err := bw.Write(rec[:]); err != nil {
-			return err
+	written := 0
+	if src != nil {
+		for {
+			in, ok := src.Next()
+			if !ok {
+				break
+			}
+			encodeRecord(&rec, in)
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+			written++
 		}
+	}
+	if written != n {
+		return fmt.Errorf("trace: source delivered %d records, header promised %d", written, n)
 	}
 	return bw.Flush()
 }

@@ -1,0 +1,120 @@
+package trace
+
+import "heteromem/internal/isa"
+
+// Source is a pull-based cursor over a dynamic instruction stream. It is
+// the simulator's replay interface: cores consume instructions one at a
+// time, so a trace never needs to be materialized in memory — a Source
+// may synthesize records on demand (the workload package's kernel
+// generators), decode them incrementally, or walk an in-memory Stream.
+//
+// The contract mirrors a restartable iterator:
+//
+//   - Len returns the total number of instructions the source delivers
+//     over a full pass, independent of the cursor position.
+//   - Next returns the next instruction and true, or a zero Inst and
+//     false once the pass is exhausted.
+//   - Reset rewinds the cursor to the first instruction; a reset source
+//     delivers the identical sequence again (deterministic replay is a
+//     core requirement for a design-space study).
+//
+// A Source is not safe for concurrent use; callers that share the
+// underlying definition across goroutines create one Source per consumer.
+type Source interface {
+	Next() (Inst, bool)
+	Reset()
+	Len() int
+}
+
+// Cursor adapts an in-memory Stream to the Source interface.
+type Cursor struct {
+	s Stream
+	i int
+}
+
+// NewCursor returns a cursor positioned at the start of s.
+func NewCursor(s Stream) *Cursor { return &Cursor{s: s} }
+
+// Bind repositions the cursor at the start of s and returns it, so one
+// cursor value can be reused across many short streams without
+// allocating.
+func (c *Cursor) Bind(s Stream) *Cursor {
+	c.s, c.i = s, 0
+	return c
+}
+
+// Next returns the next instruction, or false at end of stream.
+func (c *Cursor) Next() (Inst, bool) {
+	if c.i >= len(c.s) {
+		return Inst{}, false
+	}
+	in := c.s[c.i]
+	c.i++
+	return in, true
+}
+
+// Reset rewinds to the first instruction.
+func (c *Cursor) Reset() { c.i = 0 }
+
+// Len returns the total stream length.
+func (c *Cursor) Len() int { return len(c.s) }
+
+// Materialize drains src from its current position into a Stream sized
+// by Len. It is the bridge from streaming sources back to the in-memory
+// form that serialization and the golden tests use.
+func Materialize(src Source) Stream {
+	if src == nil {
+		return nil
+	}
+	out := make(Stream, 0, src.Len())
+	for {
+		in, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, in)
+	}
+}
+
+// SummarizeSource computes summary statistics by streaming src from its
+// current position, without materializing the trace.
+func SummarizeSource(src Source) Stats {
+	st := Stats{ByKind: make(map[isa.Kind]int)}
+	pcs := make(map[uint64]struct{})
+	addrs := make(map[uint64]struct{})
+	taken := 0
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		st.Total++
+		st.ByKind[in.Kind]++
+		pcs[in.PC] = struct{}{}
+		switch {
+		case in.Kind.IsMem():
+			st.MemOps++
+			st.MemBytes += uint64(in.Size)
+			addrs[in.Addr] = struct{}{}
+		case in.Kind.IsComm():
+			st.CommOps++
+			st.CommBytes += uint64(in.Size)
+		case in.Kind == isa.Branch:
+			st.Branches++
+			if in.Taken {
+				taken++
+			}
+		case in.Kind == isa.Push:
+			st.PushOps++
+		}
+		if in.Kind.IsSIMD() {
+			st.SIMDOps++
+		}
+	}
+	if st.Branches > 0 {
+		st.TakenRate = float64(taken) / float64(st.Branches)
+	}
+	st.UniquePCs = len(pcs)
+	st.UniqueAddr = len(addrs)
+	return st
+}

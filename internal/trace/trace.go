@@ -131,38 +131,5 @@ type Stats struct {
 
 // Summarize computes summary statistics for the stream.
 func Summarize(s Stream) Stats {
-	st := Stats{ByKind: make(map[isa.Kind]int)}
-	pcs := make(map[uint64]struct{})
-	addrs := make(map[uint64]struct{})
-	taken := 0
-	for _, in := range s {
-		st.Total++
-		st.ByKind[in.Kind]++
-		pcs[in.PC] = struct{}{}
-		switch {
-		case in.Kind.IsMem():
-			st.MemOps++
-			st.MemBytes += uint64(in.Size)
-			addrs[in.Addr] = struct{}{}
-		case in.Kind.IsComm():
-			st.CommOps++
-			st.CommBytes += uint64(in.Size)
-		case in.Kind == isa.Branch:
-			st.Branches++
-			if in.Taken {
-				taken++
-			}
-		case in.Kind == isa.Push:
-			st.PushOps++
-		}
-		if in.Kind.IsSIMD() {
-			st.SIMDOps++
-		}
-	}
-	if st.Branches > 0 {
-		st.TakenRate = float64(taken) / float64(st.Branches)
-	}
-	st.UniquePCs = len(pcs)
-	st.UniqueAddr = len(addrs)
-	return st
+	return SummarizeSource(NewCursor(s))
 }

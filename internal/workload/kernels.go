@@ -11,24 +11,19 @@ import (
 	"heteromem/internal/trace"
 )
 
-// gen builds a trace stream deterministically: a splitmix64 stream seeded
-// per kernel and PU drives address irregularity, so the same kernel always
-// produces the same trace.
+// gen holds the deterministic state a kernel loop body evolves as it
+// emits instructions: a splitmix64 stream seeded per kernel and PU drives
+// address irregularity, so the same kernel always produces the same
+// trace. Bodies emit into a small per-iteration buffer that bodySource
+// drains, so a dynamic stream never materializes unless asked to.
 type gen struct {
-	out       trace.Stream
+	out       []trace.Inst
 	seed      uint64
 	pcBase    uint64
 	dataBase  uint64
 	footprint uint64
 	cursor    uint64
 	iter      uint64
-}
-
-func newGen(seed, pcBase, dataBase, footprint uint64) *gen {
-	if footprint == 0 {
-		footprint = 4096
-	}
-	return &gen{seed: seed, pcBase: pcBase, dataBase: dataBase, footprint: footprint}
 }
 
 // next is splitmix64: deterministic, well-distributed, allocation-free.
@@ -59,21 +54,79 @@ func (g *gen) emit(in trace.Inst) { g.out = append(g.out, in) }
 // bodyFn appends one loop iteration to g.
 type bodyFn func(g *gen)
 
-// fill emits iterations of body until the stream holds exactly n
-// instructions, truncating the final iteration and padding with ALU ops
-// if the body overshoots by less than one instruction's worth.
-func fill(n int, body bodyFn, g *gen) trace.Stream {
-	g.out = make(trace.Stream, 0, n+8)
-	for len(g.out) < n {
-		before := len(g.out)
-		body(g)
-		g.iter++
-		if len(g.out) == before {
+// bodyBufCap bounds the instructions one loop iteration emits; the widest
+// body (blocked matrix multiply) emits seven.
+const bodyBufCap = 8
+
+// genParams identifies one phase half's generator: the loop body plus the
+// seeds that make its output deterministic. Params are immutable once
+// built, so one set can be shared by any number of concurrent sources.
+type genParams struct {
+	body      bodyFn
+	n         int
+	seed      uint64
+	pcBase    uint64
+	dataBase  uint64
+	footprint uint64
+}
+
+// source returns a fresh cursor over the generator's stream.
+func (p *genParams) source() *bodySource {
+	s := &bodySource{p: p}
+	s.Reset()
+	return s
+}
+
+// bodySource is a restartable trace.Source that synthesizes the loop
+// body's dynamic stream on demand: iterations are generated one at a time
+// into a fixed buffer and handed out instruction by instruction, exactly
+// n of them — the final iteration is truncated mid-body just as the
+// materialized form is. Memory use is O(1) in the stream length.
+type bodySource struct {
+	p   *genParams
+	g   gen
+	pos int // instructions delivered so far
+	bi  int // cursor into the current iteration's buffer
+	buf [bodyBufCap]trace.Inst
+}
+
+// Reset rewinds the generator to the first instruction; the replayed
+// sequence is bit-identical (the generator state is reseeded).
+func (s *bodySource) Reset() {
+	s.g = gen{
+		seed:      s.p.seed,
+		pcBase:    s.p.pcBase,
+		dataBase:  s.p.dataBase,
+		footprint: s.p.footprint,
+	}
+	if s.g.footprint == 0 {
+		s.g.footprint = 4096
+	}
+	s.g.out = s.buf[:0]
+	s.pos, s.bi = 0, 0
+}
+
+// Len returns the total instruction count the source delivers.
+func (s *bodySource) Len() int { return s.p.n }
+
+// Next synthesizes and returns the next instruction.
+func (s *bodySource) Next() (trace.Inst, bool) {
+	if s.pos >= s.p.n {
+		return trace.Inst{}, false
+	}
+	if s.bi >= len(s.g.out) {
+		s.g.out = s.g.out[:0]
+		s.bi = 0
+		s.p.body(&s.g)
+		s.g.iter++
+		if len(s.g.out) == 0 {
 			panic("workload: loop body emitted nothing")
 		}
 	}
-	g.out = g.out[:n]
-	return g.out
+	in := s.g.out[s.bi]
+	s.bi++
+	s.pos++
+	return in, true
 }
 
 // --- CPU loop bodies ---
@@ -262,28 +315,34 @@ func tableOrder(name string) int {
 	return 99
 }
 
-func (s spec) cpuGen(phase uint64) *gen {
-	return newGen(0x1000+phase, 0x400000+phase*0x1000, cpuDataBase, s.footprint)
+func (s spec) cpuParams(phase uint64, n int) *genParams {
+	return &genParams{body: s.cpuBody, n: n,
+		seed: 0x1000 + phase, pcBase: 0x400000 + phase*0x1000,
+		dataBase: cpuDataBase, footprint: s.footprint}
 }
 
-func (s spec) gpuGen(phase uint64) *gen {
-	return newGen(0x2000+phase, 0x800000+phase*0x1000, gpuDataBase, s.footprint)
+func (s spec) gpuParams(phase uint64, n int) *genParams {
+	return &genParams{body: s.gpuBody, n: n,
+		seed: 0x2000 + phase, pcBase: 0x800000 + phase*0x1000,
+		dataBase: gpuDataBase, footprint: s.footprint}
 }
 
-func (s spec) seqGen(phase uint64) *gen {
-	return newGen(0x3000+phase, 0xc00000+phase*0x1000, shrDataBase, s.footprint/2+4096)
+func (s spec) seqParams(phase uint64, n int) *genParams {
+	return &genParams{body: s.seqBody, n: n,
+		seed: 0x3000 + phase, pcBase: 0xc00000 + phase*0x1000,
+		dataBase: shrDataBase, footprint: s.footprint/2 + 4096}
 }
 
 func parallel(s spec, phase uint64, cpuN, gpuN int) Phase {
 	return Phase{
-		Kind: Parallel,
-		CPU:  fill(cpuN, s.cpuBody, s.cpuGen(phase)),
-		GPU:  fill(gpuN, s.gpuBody, s.gpuGen(phase)),
+		Kind:   Parallel,
+		cpuGen: s.cpuParams(phase, cpuN),
+		gpuGen: s.gpuParams(phase, gpuN),
 	}
 }
 
 func sequential(s spec, phase uint64, n int) Phase {
-	return Phase{Kind: Sequential, CPU: fill(n, s.seqBody, s.seqGen(phase))}
+	return Phase{Kind: Sequential, cpuGen: s.seqParams(phase, n)}
 }
 
 func h2d(bytes uint64) Phase {
@@ -303,10 +362,17 @@ func objects(s spec) []locality.Object {
 	}
 }
 
-// Generate builds the named kernel's program. The instruction counts,
-// communication counts and initial transfer size of the result match
-// Table III exactly (verified by tests).
-func Generate(name string) (*Program, error) {
+// Open builds the named kernel's program in streaming form: compute
+// phases carry restartable generators instead of materialized streams, so
+// opening a kernel is O(1) in its instruction count and replaying it
+// never allocates a trace. The delivered instruction sequences are
+// bit-identical to Generate's (pinned by TestOpenMatchesGenerate); the
+// instruction counts, communication counts and initial transfer size
+// match Table III exactly.
+//
+// An opened program is immutable and safe to share: every CPUSource /
+// GPUSource call hands out an independent cursor.
+func Open(name string) (*Program, error) {
 	s, ok := specs[name]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown kernel %q (have %v)", name, Names())
@@ -365,6 +431,30 @@ func Generate(name string) (*Program, error) {
 				sequential(s, uint64(i*2+1), seqIters[i]),
 			)
 		}
+	}
+	return p, nil
+}
+
+// MustOpen is Open but panics on unknown kernels.
+func MustOpen(name string) *Program {
+	p, err := Open(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Generate builds the named kernel's program with materialized trace
+// streams, for serialization, golden comparisons and tools that index
+// into the traces. Simulation paths should prefer Open: it delivers the
+// same instructions without the O(N) stream allocation.
+func Generate(name string) (*Program, error) {
+	p, err := Open(name)
+	if err != nil {
+		return nil, err
+	}
+	for i := range p.Phases {
+		p.Phases[i].materialize()
 	}
 	return p, nil
 }

@@ -64,10 +64,16 @@ func (d Direction) String() string {
 }
 
 // Phase is one step of a program.
+//
+// A compute phase carries its traces in one of two forms: materialized
+// streams in CPU/GPU (Generate, LoadProgram), or restartable generators
+// (Open) that synthesize the identical instructions on demand. Consumers
+// replay either form through CPUSource/GPUSource and size work with
+// CPULen/GPULen.
 type Phase struct {
 	Kind PhaseKind
-	// CPU and GPU hold the traces for compute phases (GPU empty for
-	// Sequential).
+	// CPU and GPU hold the materialized traces for compute phases (GPU
+	// empty for Sequential). Empty for streaming programs built by Open.
 	CPU trace.Stream
 	GPU trace.Stream
 	// Dir and Bytes describe a Transfer phase. Addr is the base of the
@@ -76,6 +82,57 @@ type Phase struct {
 	Dir   Direction
 	Bytes uint64
 	Addr  uint64
+
+	// Generator parameters for streaming programs; nil once materialized.
+	cpuGen *genParams
+	gpuGen *genParams
+}
+
+// CPUSource returns a fresh cursor over the phase's CPU trace, whichever
+// form it is stored in. Every call returns an independent source.
+func (ph *Phase) CPUSource() trace.Source {
+	if ph.cpuGen != nil {
+		return ph.cpuGen.source()
+	}
+	return trace.NewCursor(ph.CPU)
+}
+
+// GPUSource returns a fresh cursor over the phase's GPU trace.
+func (ph *Phase) GPUSource() trace.Source {
+	if ph.gpuGen != nil {
+		return ph.gpuGen.source()
+	}
+	return trace.NewCursor(ph.GPU)
+}
+
+// CPULen returns the phase's CPU instruction count without materializing.
+func (ph *Phase) CPULen() int {
+	if ph.cpuGen != nil {
+		return ph.cpuGen.n
+	}
+	return len(ph.CPU)
+}
+
+// GPULen returns the phase's GPU instruction count without materializing.
+func (ph *Phase) GPULen() int {
+	if ph.gpuGen != nil {
+		return ph.gpuGen.n
+	}
+	return len(ph.GPU)
+}
+
+// materialize expands the phase's generators (if any) into in-memory
+// streams and drops the generators, converting a streaming phase into the
+// serializable form.
+func (ph *Phase) materialize() {
+	if ph.cpuGen != nil {
+		ph.CPU = trace.Materialize(ph.cpuGen.source())
+		ph.cpuGen = nil
+	}
+	if ph.gpuGen != nil {
+		ph.GPU = trace.Materialize(ph.gpuGen.source())
+		ph.gpuGen = nil
+	}
 }
 
 // Program is a complete kernel: its phases, the data objects it
@@ -102,13 +159,14 @@ type Characteristics struct {
 func (p *Program) Characteristics() Characteristics {
 	c := Characteristics{Name: p.Name, Pattern: p.Pattern}
 	first := true
-	for _, ph := range p.Phases {
+	for i := range p.Phases {
+		ph := &p.Phases[i]
 		switch ph.Kind {
 		case Sequential:
-			c.SerialInsts += uint64(len(ph.CPU))
+			c.SerialInsts += uint64(ph.CPULen())
 		case Parallel:
-			c.CPUInsts += uint64(len(ph.CPU))
-			c.GPUInsts += uint64(len(ph.GPU))
+			c.CPUInsts += uint64(ph.CPULen())
+			c.GPUInsts += uint64(ph.GPULen())
 		case Transfer:
 			c.Comms++
 			if first {
@@ -120,9 +178,14 @@ func (p *Program) Characteristics() Characteristics {
 	return c
 }
 
-// Validate checks every trace in the program.
+// Validate checks the program's structure and every materialized trace.
+// Generator-backed phases carry no records to check here: their output is
+// pinned instruction-for-instruction against the materialized form by the
+// workload tests, and re-synthesizing millions of records on every Run
+// would defeat streaming.
 func (p *Program) Validate() error {
-	for i, ph := range p.Phases {
+	for i := range p.Phases {
+		ph := &p.Phases[i]
 		if err := ph.CPU.Validate(); err != nil {
 			return fmt.Errorf("%s phase %d cpu: %w", p.Name, i, err)
 		}
@@ -131,14 +194,14 @@ func (p *Program) Validate() error {
 		}
 		switch ph.Kind {
 		case Sequential:
-			if len(ph.GPU) != 0 {
+			if ph.GPULen() != 0 {
 				return fmt.Errorf("%s phase %d: sequential phase has GPU work", p.Name, i)
 			}
 		case Transfer:
 			if ph.Bytes == 0 {
 				return fmt.Errorf("%s phase %d: zero-byte transfer", p.Name, i)
 			}
-			if len(ph.CPU) != 0 || len(ph.GPU) != 0 {
+			if ph.CPULen() != 0 || ph.GPULen() != 0 {
 				return fmt.Errorf("%s phase %d: transfer phase has compute work", p.Name, i)
 			}
 		}
@@ -149,8 +212,8 @@ func (p *Program) Validate() error {
 // TotalInstructions returns the instruction count across all phases.
 func (p *Program) TotalInstructions() uint64 {
 	var n uint64
-	for _, ph := range p.Phases {
-		n += uint64(len(ph.CPU)) + uint64(len(ph.GPU))
+	for i := range p.Phases {
+		n += uint64(p.Phases[i].CPULen()) + uint64(p.Phases[i].GPULen())
 	}
 	return n
 }

@@ -56,7 +56,8 @@ func SaveProgram(w io.Writer, p *Program) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Phases))); err != nil {
 		return err
 	}
-	for _, ph := range p.Phases {
+	for i := range p.Phases {
+		ph := &p.Phases[i]
 		if err := bw.WriteByte(uint8(ph.Kind)); err != nil {
 			return err
 		}
@@ -75,10 +76,13 @@ func SaveProgram(w io.Writer, p *Program) error {
 			if err := bw.Flush(); err != nil {
 				return err
 			}
-			if err := trace.Write(w, ph.CPU); err != nil {
+			// Encoding through the source streams generator-backed
+			// programs record-at-a-time, so a kernel opened with Open can
+			// be saved without ever materializing its traces.
+			if err := trace.WriteSource(w, ph.CPUSource()); err != nil {
 				return err
 			}
-			if err := trace.Write(w, ph.GPU); err != nil {
+			if err := trace.WriteSource(w, ph.GPUSource()); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"heteromem/internal/trace"
+)
+
+// drainEqual walks src and checks it delivers exactly want,
+// instruction for instruction.
+func drainEqual(t *testing.T, label string, src trace.Source, want trace.Stream) {
+	t.Helper()
+	if src.Len() != len(want) {
+		t.Fatalf("%s: Len = %d, want %d", label, src.Len(), len(want))
+	}
+	for i, w := range want {
+		got, ok := src.Next()
+		if !ok {
+			t.Fatalf("%s: source ended at %d of %d", label, i, len(want))
+		}
+		if got != w {
+			t.Fatalf("%s: inst %d = %+v, want %+v", label, i, got, w)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatalf("%s: source over-delivered past %d", label, len(want))
+	}
+}
+
+// TestOpenMatchesGenerate pins the streaming path to the materialized
+// one: for every kernel, every phase's Source delivers the identical
+// instruction sequence Generate produces — the property the golden
+// figures rely on when the simulator replays streams directly.
+func TestOpenMatchesGenerate(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			mat := MustGenerate(name)
+			str := MustOpen(name)
+			if len(mat.Phases) != len(str.Phases) {
+				t.Fatalf("phase count: open %d, generate %d", len(str.Phases), len(mat.Phases))
+			}
+			if str.TotalInstructions() != mat.TotalInstructions() {
+				t.Fatalf("total insts: open %d, generate %d", str.TotalInstructions(), mat.TotalInstructions())
+			}
+			if got, want := str.Characteristics(), mat.Characteristics(); got != want {
+				t.Fatalf("characteristics: open %+v, generate %+v", got, want)
+			}
+			for i := range mat.Phases {
+				mph, sph := &mat.Phases[i], &str.Phases[i]
+				drainEqual(t, "cpu", sph.CPUSource(), mph.CPU)
+				drainEqual(t, "gpu", sph.GPUSource(), mph.GPU)
+			}
+		})
+	}
+}
+
+// TestSourceResetReplaysIdentically checks the restartability contract:
+// after a partial or full pass, Reset rewinds a generator-backed source
+// to the exact same sequence.
+func TestSourceResetReplaysIdentically(t *testing.T) {
+	p := MustOpen("convolution")
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		if ph.Kind == Transfer {
+			continue
+		}
+		src := ph.CPUSource()
+		first := trace.Materialize(src)
+		// Partial pass, then rewind.
+		src.Reset()
+		for j := 0; j < 1000; j++ {
+			src.Next()
+		}
+		src.Reset()
+		second := trace.Materialize(src)
+		if len(first) != len(second) {
+			t.Fatalf("phase %d: replay length %d != %d", i, len(second), len(first))
+		}
+		for j := range first {
+			if first[j] != second[j] {
+				t.Fatalf("phase %d inst %d: %+v != %+v after Reset", i, j, second[j], first[j])
+			}
+		}
+	}
+}
+
+// TestSourcesAreIndependent checks that two sources from one shared
+// phase do not perturb each other — the property program interning in
+// the sweep harness relies on.
+func TestSourcesAreIndependent(t *testing.T) {
+	p := MustOpen("reduction")
+	ph := &p.Phases[1] // parallel phase
+	a, b := ph.CPUSource(), ph.CPUSource()
+	av, aok := a.Next()
+	for i := 0; i < 100; i++ {
+		b.Next()
+	}
+	bv, _ := b.Next()
+	a2, _ := a.Next()
+	if !aok {
+		t.Fatal("first Next failed")
+	}
+	if av == a2 {
+		t.Fatal("source a did not advance")
+	}
+	// Walking b must not have skipped a ahead: a's second pull matches
+	// the materialized stream's second instruction.
+	want := trace.Materialize(ph.CPUSource())
+	if av != want[0] || a2 != want[1] {
+		t.Fatalf("interleaved pulls diverged: got %+v,%+v want %+v,%+v", av, a2, want[0], want[1])
+	}
+	_ = bv
+}

@@ -220,12 +220,12 @@ func TestScaleTransfers(t *testing.T) {
 	}
 }
 
-func TestFillExactCount(t *testing.T) {
+func TestSourceExactCount(t *testing.T) {
 	for _, n := range []int{1, 5, 6, 7, 100, 9999} {
-		g := newGen(1, 0, cpuDataBase, 4096)
-		s := fill(n, streamAddCPU, g)
+		p := &genParams{body: streamAddCPU, n: n, seed: 1, dataBase: cpuDataBase, footprint: 4096}
+		s := trace.Materialize(p.source())
 		if len(s) != n {
-			t.Fatalf("fill(%d) produced %d", n, len(s))
+			t.Fatalf("source(n=%d) produced %d", n, len(s))
 		}
 	}
 }
