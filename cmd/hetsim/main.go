@@ -30,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hetsim: ")
 	var (
-		system   = flag.String("system", "CPU+GPU", "system configuration: CPU+GPU, LRB, GMAC, Fusion, IDEAL-HETERO")
+		system   = flag.String("system", "CPU+GPU", "system configuration: a built-in name (CPU+GPU, LRB, GMAC, Fusion, IDEAL-HETERO) or a path to a declarative JSON file (see examples/systems)")
 		kernel   = flag.String("kernel", "reduction", "kernel: "+strings.Join(workload.Names(), ", "))
 		program  = flag.String("program", "", "run a saved program file (from hettrace -saveprog) instead of a named kernel")
 		all      = flag.Bool("all", false, "run every system on the kernel")
@@ -210,17 +210,22 @@ func schemeByName(name string) (locality.Scheme, error) {
 	return locality.Scheme{}, fmt.Errorf("unknown locality scheme %q (expl-shared, expl-private, hybrid)", name)
 }
 
+// findSystem resolves -system: a built-in case-study name, or a path to
+// a declarative JSON description (systems.Load).
 func findSystem(name string) (systems.System, error) {
 	for _, s := range systems.CaseStudies() {
 		if strings.EqualFold(s.Name, name) {
 			return s, nil
 		}
 	}
+	if st, err := os.Stat(name); err == nil && !st.IsDir() {
+		return systems.LoadFile(name)
+	}
 	var names []string
 	for _, s := range systems.CaseStudies() {
 		names = append(names, s.Name)
 	}
-	return systems.System{}, fmt.Errorf("unknown system %q (have %s)", name, strings.Join(names, ", "))
+	return systems.System{}, fmt.Errorf("unknown system %q (have %s, or a JSON file path)", name, strings.Join(names, ", "))
 }
 
 func printDetail(res sim.Result) {

@@ -6,6 +6,7 @@
 //	hetsweep -figure 5         # Figure 5 case studies (full kernels)
 //	hetsweep -figure 5 -quick  # small kernels only
 //	hetsweep -all              # everything
+//	hetsweep -grid g.json      # sweep a declarative design-space grid
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"heteromem/internal/guideline"
 	"heteromem/internal/harness"
 	"heteromem/internal/report"
+	"heteromem/internal/systems"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		quick       = flag.Bool("quick", false, "use the small kernels only (faster)")
 		sensitivity = flag.String("sensitivity", "", "transfer-volume sensitivity sweep for the named kernel")
 		guide       = flag.Bool("guideline", false, "score the address-space models and recommend one (Section VII future work)")
+		gridPath    = flag.String("grid", "", "sweep the design-space grid described by this JSON file (see examples/systems/grid.json)")
 		csvPath     = flag.String("csv", "", "also write the case-study sweep as CSV to this file")
 		energyOut   = flag.Bool("energy", false, "print the energy breakdown for the case-study sweep")
 		jsonOut     = flag.Bool("json", false, "emit the case-study sweep (full results) as JSON to stdout")
@@ -53,6 +56,10 @@ func main() {
 	}
 	if *guide {
 		printGuideline(kernels)
+		return
+	}
+	if *gridPath != "" {
+		runGrid(exec, *gridPath, *csvPath, *jsonOut)
 		return
 	}
 	if !*all && *table == 0 && *figure == 0 && !*energyOut && *csvPath == "" && !*jsonOut {
@@ -137,6 +144,56 @@ func main() {
 	}
 	if *jsonOut {
 		writeJSON(caseStudies())
+	}
+}
+
+// runGrid sweeps every coherent point of a declarative design-space grid
+// (systems.LoadGridFile) and prints the Figure 5 breakdown per point.
+func runGrid(exec harness.Executor, path, csvPath string, jsonOut bool) {
+	grid, err := systems.LoadGridFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, skipped := grid.Enumerate()
+	if len(points) == 0 {
+		log.Fatalf("%s: grid spans no coherent design points (%d skipped)", path, skipped)
+	}
+	kernels := grid.Kernels
+	if len(kernels) == 0 {
+		kernels = []string{"reduction"}
+	}
+	cells, err := exec.RunSystems(points, kernels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	title := grid.Name
+	if title == "" {
+		title = path
+	}
+	fmt.Printf("grid %s: %d design points (%d incoherent combinations skipped)\n\n",
+		title, len(points), skipped)
+	for _, kernel := range kernels {
+		tbl := report.Table{
+			Title:   kernel,
+			Headers: []string{"design point", "sequential", "parallel", "communication", "total", "comm share"},
+		}
+		for _, c := range cells {
+			if c.Kernel != kernel {
+				continue
+			}
+			res := c.Result
+			tbl.AddRow(c.System,
+				report.Dur(res.Sequential), report.Dur(res.Parallel),
+				report.Dur(res.Communication), report.Dur(res.Total()),
+				report.Pct(res.CommFraction()))
+		}
+		fmt.Println(tbl.String())
+	}
+	if csvPath != "" {
+		writeCSV(csvPath, cells)
+	}
+	if jsonOut {
+		writeJSON(cells)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"heteromem/internal/guideline"
 	"heteromem/internal/harness"
 	"heteromem/internal/locality"
+	"heteromem/internal/model"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
 	"heteromem/internal/workload"
@@ -54,6 +55,14 @@ type (
 	Simulator = sim.Simulator
 	// Options tweak a simulator away from the baseline, for ablations.
 	Options = sim.Options
+	// Protocol is a programming-model protocol: the runtime behaviours a
+	// memory model imposes at phase boundaries.
+	Protocol = model.Protocol
+	// ProtocolKind names a built-in programming-model protocol.
+	ProtocolKind = model.Kind
+	// Grid declaratively spans a region of the design space, one list per
+	// axis; Grid.Enumerate takes the cross-product of coherent points.
+	Grid = systems.Grid
 )
 
 // The four address-space models (Section II-A, Figure 1).
@@ -62,6 +71,36 @@ const (
 	Disjoint        = addrspace.Disjoint
 	PartiallyShared = addrspace.PartiallyShared
 	ADSM            = addrspace.ADSM
+)
+
+// The built-in programming-model protocols (one per surveyed runtime
+// discipline).
+const (
+	// ExplicitCopy is the CUDA/Fusion discipline: every exchange is an
+	// explicit bulk copy.
+	ExplicitCopy = model.ExplicitCopy
+	// Ownership is acquire/release ownership control without first-touch
+	// faults (the Figure 7 partially-shared semantics).
+	Ownership = model.Ownership
+	// OwnershipFirstTouch is the full LRB model: ownership plus lib-pf
+	// faults on first touch.
+	OwnershipFirstTouch = model.OwnershipFirstTouch
+	// ADSMLazy is GMAC's asymmetric distributed shared memory.
+	ADSMLazy = model.ADSMLazy
+	// IdealProtocol is the no-op protocol of a unified coherent machine.
+	IdealProtocol = model.Ideal
+)
+
+// Declarative system and grid serialisation (JSON).
+var (
+	// LoadSystem parses a declarative system description.
+	LoadSystem = systems.Load
+	// LoadSystemFile reads and parses a system description file.
+	LoadSystemFile = systems.LoadFile
+	// SaveSystem serialises a system so LoadSystem round-trips it.
+	SaveSystem = systems.Save
+	// LoadGridFile reads and parses a design-space grid description.
+	LoadGridFile = systems.LoadGridFile
 )
 
 // Case-study system constructors (Section V-A).

@@ -65,6 +65,25 @@ func ParseModel(s string) (Model, error) {
 	return 0, fmt.Errorf("addrspace: unknown model %q", s)
 }
 
+// MarshalText implements encoding.TextMarshaler so models serialise as
+// their names in declarative system configs.
+func (m Model) MarshalText() ([]byte, error) {
+	if m >= NumModels {
+		return nil, fmt.Errorf("addrspace: invalid model %d", uint8(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *Model) UnmarshalText(b []byte) error {
+	parsed, err := ParseModel(string(b))
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
+
 // AllModels returns the four models in paper order (UNI, PAS, DIS, ADSM
 // is Table V's column order; this returns declaration order).
 func AllModels() []Model {

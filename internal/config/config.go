@@ -72,22 +72,24 @@ func (c CoreConfig) Domain() *clock.Domain { return clock.NewDomain(c.Name, c.Fr
 // CommParams are the Table IV parameters for modeling communication
 // overhead with special instructions. Latencies are in CPU cycles at the
 // baseline 3.5 GHz clock, exactly as the paper specifies them.
+// The JSON names appear in declarative system and grid files
+// (systems.Load / systems.LoadGrid).
 type CommParams struct {
 	// APIPCICycles is the fixed cost of a memory copy API using PCI-E
 	// (api-pci); the transfer itself adds bytes at PCIRateGBs.
-	APIPCICycles uint64
+	APIPCICycles uint64 `json:"api_pci_cycles"`
 	// PCIRateGBs is the PCI-E 2.0 transfer rate (trans_rate).
-	PCIRateGBs float64
+	PCIRateGBs float64 `json:"pci_rate_gbs"`
 	// APIAcqCycles is the cost of an ownership acquire action (api-acq).
-	APIAcqCycles uint64
+	APIAcqCycles uint64 `json:"api_acq_cycles"`
 	// APITrCycles is the cost of a data transfer function into the
 	// partially shared space (api-tr).
-	APITrCycles uint64
+	APITrCycles uint64 `json:"api_tr_cycles"`
 	// LibPFCycles is the library cost of a page fault on first touch of
 	// shared data (lib-pf).
-	LibPFCycles uint64
+	LibPFCycles uint64 `json:"lib_pf_cycles"`
 	// CPUFreqMHz anchors the cycle counts to absolute time.
-	CPUFreqMHz float64
+	CPUFreqMHz float64 `json:"cpu_freq_mhz"`
 }
 
 // TableIV returns the paper's default communication parameters:

@@ -1,0 +1,57 @@
+package harness_test
+
+import (
+	"testing"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/harness"
+	"heteromem/internal/systems"
+)
+
+// TestGridPointsRun drives every coherent point of the example design
+// grid through the sweep executor: each must construct, run the
+// reduction kernel and produce a nonzero breakdown.
+func TestGridPointsRun(t *testing.T) {
+	g, err := systems.LoadGridFile("../../examples/systems/grid.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, skipped := g.Enumerate()
+	if len(points) < 24 {
+		t.Fatalf("grid spans %d points, want >= 24 (%d skipped)", len(points), skipped)
+	}
+	exec := harness.Executor{Par: 4}
+	cells, err := exec.RunSystems(points, []string{"reduction"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(points) {
+		t.Fatalf("cells = %d, want one per point (%d)", len(cells), len(points))
+	}
+	for _, c := range cells {
+		if c.Result.Total() == 0 {
+			t.Errorf("%s: zero total", c.System)
+		}
+		if c.Result.Parallel == 0 {
+			t.Errorf("%s: zero parallel time", c.System)
+		}
+	}
+}
+
+// TestForModelPointsRun covers the Figure 7 systems through the same
+// declarative path: each per-model design point runs and completes.
+func TestForModelPointsRun(t *testing.T) {
+	var points []systems.System
+	for _, m := range addrspace.AllModels() {
+		points = append(points, systems.ForModel(m))
+	}
+	cells, err := (harness.Executor{Par: 2}).RunSystems(points, []string{"reduction"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Result.Total() == 0 {
+			t.Errorf("%s: zero total", c.System)
+		}
+	}
+}

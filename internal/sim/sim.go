@@ -18,6 +18,7 @@ import (
 	"heteromem/internal/isa"
 	"heteromem/internal/locality"
 	"heteromem/internal/mem"
+	"heteromem/internal/model"
 	"heteromem/internal/noc"
 	"heteromem/internal/obs"
 	"heteromem/internal/systems"
@@ -116,16 +117,15 @@ type Simulator struct {
 	fabric  comm.Fabric
 	space   *addrspace.Space
 
+	// proto is the programming-model protocol: it owns all model state
+	// (pending acquires, queued first-touch faults, the async-ready
+	// horizon) and is hooked at phase boundaries. env is the machine
+	// surface it acts through; env.res is repointed at each Run's result.
+	proto model.Protocol
+	env   protoEnv
+
 	// sharedHandle is the space object ownership operations act on.
 	sharedHandle addrspace.Object
-	// touchedObjects tracks which transfer targets the GPU has faulted
-	// on already (one lib-pf per shared object: the GPU's large pages
-	// cover a whole object, see DESIGN.md).
-	touchedObjects map[uint64]bool
-	pendingFaults  int
-	pendingAcquire bool
-	// asyncReady is when outstanding asynchronous copies complete.
-	asyncReady clock.Time
 	// scheme is the locality-management scheme to apply, if any.
 	scheme *locality.Scheme
 
@@ -143,19 +143,19 @@ type Simulator struct {
 	gpuPushes trace.Stream
 }
 
-// Single-instruction API-call streams used by transfer phases; immutable.
-var (
-	acquireStream = trace.Stream{{Kind: isa.APIAcquire}}
-	releaseStream = trace.Stream{{Kind: isa.APIRelease}}
-)
-
 // New returns a simulator for the system with the Table II baseline.
 func New(sys systems.System) (*Simulator, error) {
 	return NewWithOptions(sys, Options{})
 }
 
-// NewWithOptions returns a simulator with ablation options applied.
+// NewWithOptions returns a simulator with ablation options applied. The
+// system is validated first, so incoherent design points (ownership over
+// a space without ownership control, fault granularity without faults)
+// fail here with the system's name rather than misbehaving mid-run.
 func NewWithOptions(sys systems.System, opts Options) (*Simulator, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	memCfg := mem.TableII()
 	if opts.Hierarchy != nil {
 		memCfg = *opts.Hierarchy
@@ -168,13 +168,18 @@ func NewWithOptions(sys systems.System, opts Options) (*Simulator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	s := &Simulator{
-		sys:            sys,
-		hier:           hier,
-		fabric:         sys.NewFabric(hier.DRAM()),
-		space:          space,
-		touchedObjects: make(map[uint64]bool),
+	proto, err := sys.NewProtocol()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
+	s := &Simulator{
+		sys:    sys,
+		hier:   hier,
+		fabric: sys.NewFabric(hier.DRAM()),
+		space:  space,
+		proto:  proto,
+	}
+	s.env.s = s
 	s.cpuCore = cpu.New(config.BaselineCPU(), hier, sys.Params.Latency)
 	s.gpuCore = gpu.New(config.BaselineGPU(), hier, sys.Params.Latency, memCfg.SWCacheLat)
 	s.gpuCore.Coalesce = !opts.DisableCoalescing
@@ -271,10 +276,7 @@ func (s *Simulator) Reset() {
 	s.fabric.Reset()
 	s.space.Reset()
 	s.sharedHandle = addrspace.Object{}
-	clear(s.touchedObjects)
-	s.pendingFaults = 0
-	s.pendingAcquire = false
-	s.asyncReady = 0
+	s.proto.Reset()
 	s.metrics.Reset()
 }
 
@@ -322,6 +324,7 @@ func (s *Simulator) Run(p *workload.Program) (Result, error) {
 	if err := s.allocate(p); err != nil {
 		return res, fmt.Errorf("sim: allocating %s on %s: %w", p.Name, s.sys.Name, err)
 	}
+	s.env.res = &res
 	now := clock.Time(0)
 	now = s.applyLocality(p, now, &res)
 	s.sampler.Advance(uint64(now))
@@ -342,21 +345,13 @@ func (s *Simulator) Run(p *workload.Program) (Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("sim: %s phase %d on %s: %w", p.Name, i, s.sys.Name, err)
 		}
-		if s.tracer != nil {
-			s.tracer.Span(obs.TrackSim, fmt.Sprintf("phase%d.%s", i, ph.Kind), "phase",
-				uint64(phaseStart), uint64(now), nil)
-		}
+		s.tracer.Span(obs.TrackSim, fmt.Sprintf("phase%d.%s", i, ph.Kind), "phase",
+			uint64(phaseStart), uint64(now), nil)
 		s.sampler.Advance(uint64(now))
 	}
-	// Final return synchronisation: outstanding asynchronous copies must
-	// land before the program completes.
-	if s.asyncReady > now {
-		if s.tracer != nil {
-			s.tracer.Span(obs.TrackFabric, "async-wait", "comm", uint64(now), uint64(s.asyncReady), nil)
-		}
-		res.Communication += s.asyncReady.Sub(now)
-		now = s.asyncReady
-	}
+	// Program end is a synchronisation point: outstanding asynchronous
+	// copies must land before the program completes.
+	now = s.proto.SyncPoint(&s.env, now)
 	s.sampler.Finish(uint64(now))
 	res.Mem = s.hier.Stats()
 	res.Fabric = s.fabric.Stats()
@@ -410,36 +405,14 @@ func (s *Simulator) runParallel(ph *workload.Phase, now clock.Time, res *Result)
 	start := now
 	gpuStart := start
 
-	// LRB programming-model events at kernel entry: the GPU acquires
-	// ownership of the shared data, then faults once per freshly shared
-	// object.
-	prologue := s.prologue[:0]
-	if s.pendingAcquire {
-		prologue = append(prologue, trace.Inst{Kind: isa.APIAcquire})
-		s.pendingAcquire = false
-		res.OwnershipOps++
-		if s.sharedHandle.Size != 0 {
-			// Walk the protocol in the address space as well, so space
-			// statistics reflect the handovers.
-			_ = s.space.Acquire(mem.GPU, s.sharedHandle)
-		}
-		s.tracer.Instant(obs.TrackGPU, "acquire-ownership", "model", uint64(start), nil)
-	}
-	for f := 0; f < s.pendingFaults; f++ {
-		prologue = append(prologue, trace.Inst{Kind: isa.LibPageFault})
-	}
-	if s.pendingFaults > 0 && s.tracer != nil {
-		s.tracer.Instant(obs.TrackGPU, "lib-pf", "model", uint64(start),
-			map[string]any{"faults": s.pendingFaults})
-	}
-	res.PageFaults += s.pendingFaults
-	s.pendingFaults = 0
+	// Programming-model events at kernel entry (e.g. LRB's ownership
+	// acquire and queued first-touch faults) arrive as a GPU prologue
+	// stream from the protocol.
+	prologue := s.proto.KernelEntry(&s.env, start, s.prologue[:0])
 	s.prologue = prologue // keep any growth for the next phase
 	if len(prologue) > 0 {
 		end, st := s.gpuCore.RunStream(prologue, gpuStart)
-		if s.tracer != nil {
-			s.tracer.Span(obs.TrackGPU, "prologue", "model", uint64(gpuStart), uint64(end), nil)
-		}
+		s.tracer.Span(obs.TrackGPU, "prologue", "model", uint64(gpuStart), uint64(end), nil)
 		gpuStart = end
 		addGPUStats(&res.GPU, st)
 	}
@@ -474,10 +447,8 @@ func (s *Simulator) runParallel(ph *workload.Phase, now clock.Time, res *Result)
 	cpuEnd, cst := ce.End()
 	addCPUStats(&res.CPU, cst)
 	addGPUStats(&res.GPU, gst)
-	if s.tracer != nil {
-		s.tracer.Span(obs.TrackCPU, "cpu.parallel", "compute", uint64(start), uint64(cpuEnd), nil)
-		s.tracer.Span(obs.TrackGPU, "gpu.parallel", "compute", uint64(gpuStart), uint64(gpuEnd), nil)
-	}
+	s.tracer.Span(obs.TrackCPU, "cpu.parallel", "compute", uint64(start), uint64(cpuEnd), nil)
+	s.tracer.Span(obs.TrackGPU, "gpu.parallel", "compute", uint64(gpuStart), uint64(gpuEnd), nil)
 
 	// Communication inside a parallel phase counts only where it is
 	// exposed on the critical path: a GPU-side delay (async-copy wait,
@@ -511,61 +482,21 @@ func minDur(a, b clock.Duration) clock.Duration {
 }
 
 func (s *Simulator) runTransfer(ph *workload.Phase, now clock.Time, res *Result) (clock.Time, error) {
-	if ph.Dir == workload.DeviceToHost && s.sys.SkipDeviceToHost {
-		// The result already lives in a space the CPU can address. The
-		// LRB model still hands ownership back to the CPU; GMAC waits for
-		// outstanding copies at its return-synchronisation point.
-		if s.sys.OwnershipOps {
-			if err := s.ownershipToCPU(); err != nil {
-				return now, err
-			}
-			s.tracer.Instant(obs.TrackGPU, "cache-flush", "model", uint64(now), nil)
-			s.tracer.Instant(obs.TrackCPU, "acquire-ownership", "model", uint64(now), nil)
-			end, st := s.cpuCore.RunStream(acquireStream, now)
-			res.Communication += end.Sub(now)
-			addCPUStats(&res.CPU, st)
-			res.OwnershipOps++
-			now = end
+	if ph.Dir == workload.DeviceToHost {
+		// Kernel return: a protocol whose results already live in a space
+		// the CPU can address elides the bulk copy — LRB hands ownership
+		// back to the CPU, GMAC waits at its return-synchronisation point.
+		end, handled, err := s.proto.KernelReturn(&s.env, now)
+		if handled || err != nil {
+			return end, err
 		}
-		if s.fabric.Async() {
-			// ADSM return synchronisation (one of GMAC's four fundamental
-			// APIs): the host blocks until outstanding copies land and
-			// pays the synchronisation call itself.
-			sync := s.fabric.Launch()
-			res.Communication += sync
-			now = now.Add(sync)
-		}
-		if s.asyncReady > now {
-			res.Communication += s.asyncReady.Sub(now)
-			now = s.asyncReady
-		}
-		return now, nil
-	}
-
-	// LRB: the CPU releases ownership before the data moves into the
-	// shared space; the GPU acquires at kernel entry (next parallel
-	// phase), and its first touch of each new object faults.
-	if ph.Dir == workload.HostToDevice && s.sys.OwnershipOps {
-		if err := s.ownershipRelease(); err != nil {
+	} else {
+		// Before a host-to-device copy the protocol charges its release
+		// costs and queues kernel-entry work (LRB's ownership release and
+		// first-touch faults).
+		var err error
+		if now, err = s.proto.BeforeTransfer(&s.env, ph.Addr, ph.Bytes, now); err != nil {
 			return now, err
-		}
-		s.tracer.Instant(obs.TrackCPU, "cache-flush", "model", uint64(now), nil)
-		s.tracer.Instant(obs.TrackCPU, "release-ownership", "model", uint64(now), nil)
-		end, st := s.cpuCore.RunStream(releaseStream, now)
-		res.Communication += end.Sub(now)
-		addCPUStats(&res.CPU, st)
-		res.OwnershipOps++
-		now = end
-		s.pendingAcquire = true
-	}
-	if ph.Dir == workload.HostToDevice && s.sys.PageFaultOnFirstTouch && !s.touchedObjects[ph.Addr] {
-		s.touchedObjects[ph.Addr] = true
-		if g := s.sys.FaultGranularityBytes; g > 0 {
-			// One fault per page-sized granule of the freshly shared data.
-			s.pendingFaults += int((ph.Bytes + g - 1) / g)
-		} else {
-			// Large pages cover the whole object: one fault.
-			s.pendingFaults++
 		}
 	}
 
@@ -573,50 +504,22 @@ func (s *Simulator) runTransfer(ph *workload.Phase, now clock.Time, res *Result)
 		// The host blocks only for the driver call that enqueues the
 		// copy; the data moves in the background and the GPU consumes it
 		// page by page as it arrives (ADSM's lazy transfer), so only sync
-		// points wait on asyncReady.
+		// points wait on the protocol's async-ready horizon.
 		launch := s.fabric.Launch()
 		res.Communication += launch
 		now = now.Add(launch)
 		done := s.fabric.Transfer(ph.Bytes, now)
-		if s.tracer != nil {
-			s.tracer.Span(obs.TrackFabric, "transfer."+ph.Dir.String(), "comm",
-				uint64(now), uint64(done), map[string]any{"bytes": ph.Bytes, "async": true})
-		}
-		s.asyncReady = clock.Max(s.asyncReady, done)
+		s.tracer.Span(obs.TrackFabric, "transfer."+ph.Dir.String(), "comm",
+			uint64(now), uint64(done), map[string]any{"bytes": ph.Bytes, "async": true})
+		s.proto.AfterTransfer(&s.env, done)
 		return now, nil
 	}
 	done := s.fabric.Transfer(ph.Bytes, now)
-	if s.tracer != nil {
-		s.tracer.Span(obs.TrackFabric, "transfer."+ph.Dir.String(), "comm",
-			uint64(now), uint64(done), map[string]any{"bytes": ph.Bytes})
-	}
+	s.tracer.Span(obs.TrackFabric, "transfer."+ph.Dir.String(), "comm",
+		uint64(now), uint64(done), map[string]any{"bytes": ph.Bytes})
+	s.proto.AfterTransfer(&s.env, done)
 	res.Communication += done.Sub(now)
 	return done, nil
-}
-
-// ownershipRelease walks the address-space protocol: the CPU gives up the
-// shared handle so the GPU may take it. Release consistency requires the
-// releasing PU's private caches to be written back and invalidated — the
-// shared space is not kept coherent by hardware (Section II-A3).
-func (s *Simulator) ownershipRelease() error {
-	if s.sharedHandle.Size == 0 {
-		return nil // program has no shared object under this model
-	}
-	s.hier.FlushPrivate(mem.CPU)
-	if owner, ok := s.space.OwnerOf(s.sharedHandle.Base); ok && owner == mem.CPU {
-		return s.space.Release(mem.CPU, s.sharedHandle)
-	}
-	return nil
-}
-
-// ownershipToCPU transfers the shared handle to the CPU at kernel return;
-// the GPU's private caches flush on its release side of the handover.
-func (s *Simulator) ownershipToCPU() error {
-	if s.sharedHandle.Size == 0 {
-		return nil
-	}
-	s.hier.FlushPrivate(mem.GPU)
-	return s.space.Acquire(mem.CPU, s.sharedHandle)
 }
 
 func addCPUStats(dst *cpu.Stats, src cpu.Stats) {

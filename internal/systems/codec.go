@@ -1,0 +1,129 @@
+// Declarative JSON serialisation of design points. A system file names a
+// value on each design-space axis:
+//
+//	{
+//	  "name": "LRB",
+//	  "model": "partially-shared",
+//	  "fabric": "pci-aperture",
+//	  "protocol": "ownership-first-touch",
+//	  "params": "table-iv"
+//	}
+//
+// "params" is either a preset name ("table-iv", "ideal") or a full
+// parameter object; omitted it defaults to Table IV. Save always writes
+// the full object so Load(Save(s)) == s for any system.
+package systems
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/config"
+	"heteromem/internal/model"
+)
+
+// systemJSON is the serialised form of a System. The enum axes marshal
+// as their names via their TextMarshaler implementations.
+type systemJSON struct {
+	Name                  string          `json:"name"`
+	Model                 addrspace.Model `json:"model"`
+	Fabric                FabricKind      `json:"fabric"`
+	Protocol              model.Kind      `json:"protocol"`
+	FaultGranularityBytes uint64          `json:"fault_granularity_bytes,omitempty"`
+	Params                json.RawMessage `json:"params,omitempty"`
+}
+
+// Save serialises the system as indented JSON, suitable for -system
+// files and for Load round-trips.
+func Save(s System) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	params, err := json.Marshal(s.Params)
+	if err != nil {
+		return nil, fmt.Errorf("systems: %w", err)
+	}
+	out, err := json.MarshalIndent(systemJSON{
+		Name:                  s.Name,
+		Model:                 s.Model,
+		Fabric:                s.Fabric,
+		Protocol:              s.Protocol,
+		FaultGranularityBytes: s.FaultGranularityBytes,
+		Params:                params,
+	}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("systems: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// Load parses a declarative system description and validates it.
+// Unknown fields are rejected so typos in hand-written files fail loudly.
+func Load(data []byte) (System, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var j systemJSON
+	if err := dec.Decode(&j); err != nil {
+		return System{}, fmt.Errorf("systems: parsing system: %w", err)
+	}
+	params, err := parseParams(j.Params)
+	if err != nil {
+		return System{}, fmt.Errorf("systems: system %q: %w", j.Name, err)
+	}
+	s := System{
+		Name:                  j.Name,
+		Model:                 j.Model,
+		Fabric:                j.Fabric,
+		Protocol:              j.Protocol,
+		FaultGranularityBytes: j.FaultGranularityBytes,
+		Params:                params,
+	}
+	if err := s.Validate(); err != nil {
+		return System{}, err
+	}
+	return s, nil
+}
+
+// LoadFile reads and parses a system description file.
+func LoadFile(path string) (System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return System{}, fmt.Errorf("systems: %w", err)
+	}
+	s, err := Load(data)
+	if err != nil {
+		return System{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// parseParams resolves the "params" field: absent means Table IV, a
+// string names a preset, an object gives the values directly.
+func parseParams(raw json.RawMessage) (config.CommParams, error) {
+	raw = bytes.TrimSpace(raw)
+	if len(raw) == 0 || bytes.Equal(raw, []byte("null")) {
+		return config.TableIV(), nil
+	}
+	if raw[0] == '"' {
+		var name string
+		if err := json.Unmarshal(raw, &name); err != nil {
+			return config.CommParams{}, err
+		}
+		switch name {
+		case "table-iv":
+			return config.TableIV(), nil
+		case "ideal":
+			return config.Ideal(), nil
+		default:
+			return config.CommParams{}, fmt.Errorf("unknown params preset %q (table-iv, ideal)", name)
+		}
+	}
+	var p config.CommParams
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return config.CommParams{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,145 @@
+package systems
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"heteromem/internal/addrspace"
+	"heteromem/internal/config"
+	"heteromem/internal/model"
+)
+
+// Grid declaratively spans a region of the design space as one list per
+// axis; Enumerate takes the cross-product. Empty axes default to the
+// whole axis (all models, all fabrics, all protocols, whole-object fault
+// granularity), so the zero Grid is the full built-in space.
+type Grid struct {
+	// Name labels the grid in reports.
+	Name string
+	// Models, Fabrics and Protocols are the axis values to combine.
+	Models    []addrspace.Model
+	Fabrics   []FabricKind
+	Protocols []model.Kind
+	// FaultGranularities lists first-touch page sizes in bytes; zero
+	// means one fault per object. The axis only multiplies protocols that
+	// take faults — for other protocols nonzero granularities are
+	// incoherent points and are skipped rather than duplicated.
+	FaultGranularities []uint64
+	// Params prices communication for every point; the zero value means
+	// Table IV.
+	Params config.CommParams
+	// Kernels optionally names the workloads to sweep the grid over;
+	// consumers default it (hetsweep uses the reduction kernel).
+	Kernels []string
+}
+
+// gridJSON is the serialised form of a Grid.
+type gridJSON struct {
+	Name               string            `json:"name"`
+	Models             []addrspace.Model `json:"models,omitempty"`
+	Fabrics            []FabricKind      `json:"fabrics,omitempty"`
+	Protocols          []model.Kind      `json:"protocols,omitempty"`
+	FaultGranularities []uint64          `json:"fault_granularities,omitempty"`
+	Params             json.RawMessage   `json:"params,omitempty"`
+	Kernels            []string          `json:"kernels,omitempty"`
+}
+
+// LoadGrid parses a declarative grid description. Unknown fields are
+// rejected so typos in hand-written files fail loudly.
+func LoadGrid(data []byte) (Grid, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var j gridJSON
+	if err := dec.Decode(&j); err != nil {
+		return Grid{}, fmt.Errorf("systems: parsing grid: %w", err)
+	}
+	params, err := parseParams(j.Params)
+	if err != nil {
+		return Grid{}, fmt.Errorf("systems: grid %q: %w", j.Name, err)
+	}
+	return Grid{
+		Name:               j.Name,
+		Models:             j.Models,
+		Fabrics:            j.Fabrics,
+		Protocols:          j.Protocols,
+		FaultGranularities: j.FaultGranularities,
+		Params:             params,
+		Kernels:            j.Kernels,
+	}, nil
+}
+
+// LoadGridFile reads and parses a grid description file.
+func LoadGridFile(path string) (Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Grid{}, fmt.Errorf("systems: %w", err)
+	}
+	g, err := LoadGrid(data)
+	if err != nil {
+		return Grid{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Enumerate takes the cross-product of the grid's axes and returns every
+// coherent design point, plus the number of incoherent combinations
+// skipped (Validate rejections — e.g. ownership over a disjoint space).
+// Point names encode their coordinates (model/fabric/protocol, with a
+// /pgN suffix for nonzero fault granularities), so every point is
+// addressable in reports.
+func (g Grid) Enumerate() (points []System, skipped int) {
+	models := g.Models
+	if len(models) == 0 {
+		models = addrspace.AllModels()
+	}
+	fabrics := g.Fabrics
+	if len(fabrics) == 0 {
+		fabrics = AllFabrics()
+	}
+	protocols := g.Protocols
+	if len(protocols) == 0 {
+		protocols = model.AllKinds()
+	}
+	granularities := g.FaultGranularities
+	if len(granularities) == 0 {
+		granularities = []uint64{0}
+	}
+	params := g.Params
+	if params == (config.CommParams{}) {
+		params = config.TableIV()
+	}
+
+	for _, m := range models {
+		for _, f := range fabrics {
+			for _, p := range protocols {
+				for _, gran := range granularities {
+					s := System{
+						Name:                  pointName(m, f, p, gran),
+						Model:                 m,
+						Fabric:                f,
+						Protocol:              p,
+						FaultGranularityBytes: gran,
+						Params:                params,
+					}
+					if s.Validate() != nil {
+						skipped++
+						continue
+					}
+					points = append(points, s)
+				}
+			}
+		}
+	}
+	return points, skipped
+}
+
+// pointName encodes a design point's axis coordinates.
+func pointName(m addrspace.Model, f FabricKind, p model.Kind, gran uint64) string {
+	name := fmt.Sprintf("%v/%v/%v", m, f, p)
+	if gran > 0 {
+		name += fmt.Sprintf("/pg%d", gran)
+	}
+	return name
+}

@@ -1,19 +1,23 @@
-// Package systems defines the five heterogeneous computing systems the
-// paper evaluates in Section V-A — CPU+GPU(CUDA), LRB, GMAC, Fusion and
-// IDEAL-HETERO — as combinations of an address-space model, a hardware
-// communication fabric, and programming-model behaviours (ownership
-// operations, first-touch page faults, asynchronous copies). It also
-// holds the Table I survey of previously proposed heterogeneous memory
-// systems.
+// Package systems describes heterogeneous computing systems as
+// declarative, composable design points: an address-space model, a
+// hardware communication fabric, a programming-model protocol, and the
+// communication cost parameters. The five case studies of the paper's
+// Section V-A — CPU+GPU(CUDA), LRB, GMAC, Fusion and IDEAL-HETERO — are
+// five named points in that open space; Load/Save serialise points as
+// JSON and Grid enumerates whole regions of the space for design-space
+// sweeps. The package also holds the Table I survey of previously
+// proposed heterogeneous memory systems.
 package systems
 
 import (
+	"errors"
 	"fmt"
 
 	"heteromem/internal/addrspace"
 	"heteromem/internal/comm"
 	"heteromem/internal/config"
 	"heteromem/internal/dram"
+	"heteromem/internal/model"
 )
 
 // FabricKind names a hardware communication mechanism.
@@ -31,53 +35,120 @@ const (
 	FabricMemCtrl
 	// FabricIdeal is free communication (IDEAL-HETERO).
 	FabricIdeal
+	// NumFabrics is the number of fabric kinds.
+	NumFabrics
 )
 
-func (f FabricKind) String() string {
-	switch f {
-	case FabricPCIe:
-		return "pcie"
-	case FabricPCIeAsync:
-		return "pcie-async"
-	case FabricAperture:
-		return "pci-aperture"
-	case FabricMemCtrl:
-		return "memctrl"
-	case FabricIdeal:
-		return "ideal"
-	default:
-		return fmt.Sprintf("fabric(%d)", uint8(f))
-	}
+var fabricNames = [NumFabrics]string{
+	"pcie", "pcie-async", "pci-aperture", "memctrl", "ideal",
 }
 
-// System is one evaluated heterogeneous system configuration. All five
-// case studies share the same CPUs, GPUs and cache hierarchy (the paper
-// isolates memory-system effects); they differ only in the fields here.
+func (f FabricKind) String() string {
+	if int(f) < len(fabricNames) {
+		return fabricNames[f]
+	}
+	return fmt.Sprintf("fabric(%d)", uint8(f))
+}
+
+// ParseFabric returns the fabric kind named s (as produced by String).
+func ParseFabric(s string) (FabricKind, error) {
+	for f, name := range fabricNames {
+		if s == name {
+			return FabricKind(f), nil
+		}
+	}
+	return 0, fmt.Errorf("systems: unknown fabric %q", s)
+}
+
+// MarshalText implements encoding.TextMarshaler so fabric kinds
+// serialise as their names in declarative configs.
+func (f FabricKind) MarshalText() ([]byte, error) {
+	if f >= NumFabrics {
+		return nil, fmt.Errorf("systems: invalid fabric kind %d", uint8(f))
+	}
+	return []byte(f.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (f *FabricKind) UnmarshalText(b []byte) error {
+	parsed, err := ParseFabric(string(b))
+	if err != nil {
+		return err
+	}
+	*f = parsed
+	return nil
+}
+
+// AllFabrics returns the fabric kinds in declaration order.
+func AllFabrics() []FabricKind {
+	return []FabricKind{FabricPCIe, FabricPCIeAsync, FabricAperture, FabricMemCtrl, FabricIdeal}
+}
+
+// System is one heterogeneous system configuration: a declarative
+// composition of the design-space axes. All systems share the same CPUs,
+// GPUs and cache hierarchy (the paper isolates memory-system effects);
+// they differ only in the fields here.
 type System struct {
-	// Name is the paper's label for the configuration.
+	// Name labels the configuration in reports.
 	Name string
 	// Model is the memory address space design option.
 	Model addrspace.Model
 	// Fabric is the hardware communication mechanism.
 	Fabric FabricKind
-	// Params prices the special communication instructions (Table IV).
-	Params config.CommParams
-	// OwnershipOps injects api-acq ownership acquire/release actions
-	// around transfers (the LRB programming model).
-	OwnershipOps bool
-	// PageFaultOnFirstTouch charges lib-pf when the GPU first touches a
-	// freshly shared object (LRB).
-	PageFaultOnFirstTouch bool
+	// Protocol is the programming-model protocol run over the fabric:
+	// explicit-copy (CUDA/Fusion), ownership with or without first-touch
+	// faults (LRB), adsm (GMAC), or ideal.
+	Protocol model.Kind
 	// FaultGranularityBytes sets the page size behind first-touch faults:
 	// one lib-pf per granule of freshly shared data. Zero means one fault
 	// per shared object — the GPU's large pages cover whole objects, the
 	// paper's Section II-A1 page-size option. Small granularities model a
 	// GPU stuck with host-sized pages.
 	FaultGranularityBytes uint64
-	// SkipDeviceToHost elides device-to-host copies because the result
-	// already lives in a space the CPU can address (LRB's shared space,
-	// GMAC's ADSM region).
-	SkipDeviceToHost bool
+	// Params prices the special communication instructions (Table IV).
+	Params config.CommParams
+}
+
+// ErrIncoherent reports a system configuration whose axes contradict
+// each other (e.g. ownership operations over a space without ownership
+// control).
+var ErrIncoherent = errors.New("incoherent system configuration")
+
+// Validate rejects incoherent configurations: protocol behaviours that
+// the address-space model cannot express. Every error wraps
+// ErrIncoherent and names the system.
+func (s System) Validate() error {
+	if s.Model >= addrspace.NumModels {
+		return fmt.Errorf("system %q: %w: invalid address-space model %d", s.Name, ErrIncoherent, uint8(s.Model))
+	}
+	if s.Fabric >= NumFabrics {
+		return fmt.Errorf("system %q: %w: invalid fabric %d", s.Name, ErrIncoherent, uint8(s.Fabric))
+	}
+	if s.Protocol >= model.NumKinds {
+		return fmt.Errorf("system %q: %w: invalid protocol %d", s.Name, ErrIncoherent, uint8(s.Protocol))
+	}
+	if s.Protocol.FirstTouchFaults() && s.Model != addrspace.PartiallyShared {
+		return fmt.Errorf("system %q: %w: first-touch faults need a demand-mapped shared space, which the %v model does not provide",
+			s.Name, ErrIncoherent, s.Model)
+	}
+	if s.Protocol.UsesOwnership() && s.Model != addrspace.PartiallyShared {
+		return fmt.Errorf("system %q: %w: %v ownership operations need ownership control, which only the partially-shared space provides (model is %v)",
+			s.Name, ErrIncoherent, s.Protocol, s.Model)
+	}
+	if s.FaultGranularityBytes != 0 && !s.Protocol.FirstTouchFaults() {
+		return fmt.Errorf("system %q: %w: fault granularity %d set while the %v protocol takes no first-touch faults",
+			s.Name, ErrIncoherent, s.FaultGranularityBytes, s.Protocol)
+	}
+	if s.Protocol == model.ADSMLazy && s.Model != addrspace.ADSM {
+		return fmt.Errorf("system %q: %w: the adsm protocol needs the CPU to address device memory, which the %v model does not allow",
+			s.Name, ErrIncoherent, s.Model)
+	}
+	return nil
+}
+
+// NewProtocol instantiates the system's programming-model protocol.
+func (s System) NewProtocol() (model.Protocol, error) {
+	return model.New(s.Protocol, s.FaultGranularityBytes)
 }
 
 // NewFabric instantiates the system's fabric. The memory-controller
@@ -105,10 +176,11 @@ func (s System) NewFabric(ctrl *dram.Controller) comm.Fabric {
 // including transferring results back to the host.
 func CPUGPU() System {
 	return System{
-		Name:   "CPU+GPU",
-		Model:  addrspace.Disjoint,
-		Fabric: FabricPCIe,
-		Params: config.TableIV(),
+		Name:     "CPU+GPU",
+		Model:    addrspace.Disjoint,
+		Fabric:   FabricPCIe,
+		Protocol: model.ExplicitCopy,
+		Params:   config.TableIV(),
 	}
 }
 
@@ -118,13 +190,11 @@ func CPUGPU() System {
 // stay in the shared space).
 func LRB() System {
 	return System{
-		Name:                  "LRB",
-		Model:                 addrspace.PartiallyShared,
-		Fabric:                FabricAperture,
-		Params:                config.TableIV(),
-		OwnershipOps:          true,
-		PageFaultOnFirstTouch: true,
-		SkipDeviceToHost:      true,
+		Name:     "LRB",
+		Model:    addrspace.PartiallyShared,
+		Fabric:   FabricAperture,
+		Protocol: model.OwnershipFirstTouch,
+		Params:   config.TableIV(),
 	}
 }
 
@@ -133,11 +203,11 @@ func LRB() System {
 // CPU addresses the shared space directly).
 func GMAC() System {
 	return System{
-		Name:             "GMAC",
-		Model:            addrspace.ADSM,
-		Fabric:           FabricPCIeAsync,
-		Params:           config.TableIV(),
-		SkipDeviceToHost: true,
+		Name:     "GMAC",
+		Model:    addrspace.ADSM,
+		Fabric:   FabricPCIeAsync,
+		Protocol: model.ADSMLazy,
+		Params:   config.TableIV(),
 	}
 }
 
@@ -146,10 +216,11 @@ func GMAC() System {
 // accesses.
 func Fusion() System {
 	return System{
-		Name:   "Fusion",
-		Model:  addrspace.Disjoint,
-		Fabric: FabricMemCtrl,
-		Params: config.TableIV(),
+		Name:     "Fusion",
+		Model:    addrspace.Disjoint,
+		Fabric:   FabricMemCtrl,
+		Protocol: model.ExplicitCopy,
+		Params:   config.TableIV(),
 	}
 }
 
@@ -157,10 +228,11 @@ func Fusion() System {
 // free communication.
 func IdealHetero() System {
 	return System{
-		Name:   "IDEAL-HETERO",
-		Model:  addrspace.Unified,
-		Fabric: FabricIdeal,
-		Params: config.Ideal(),
+		Name:     "IDEAL-HETERO",
+		Model:    addrspace.Unified,
+		Fabric:   FabricIdeal,
+		Protocol: model.Ideal,
+		Params:   config.Ideal(),
 	}
 }
 
@@ -179,15 +251,19 @@ func ForModel(m addrspace.Model) System {
 		Fabric: FabricIdeal,
 		Params: config.Ideal(),
 	}
-	if m == addrspace.PartiallyShared {
+	switch m {
+	case addrspace.PartiallyShared:
 		// The model's semantics keep ownership operations (they are part
 		// of the programming model, not the hardware), but under ideal
-		// parameters they cost nothing.
-		s.OwnershipOps = true
-		s.SkipDeviceToHost = true
-	}
-	if m == addrspace.ADSM {
-		s.SkipDeviceToHost = true
+		// parameters they cost nothing. First-touch faults are a page-size
+		// choice, not a PAS obligation, so the isolated model goes without.
+		s.Protocol = model.Ownership
+	case addrspace.ADSM:
+		s.Protocol = model.ADSMLazy
+	case addrspace.Unified:
+		s.Protocol = model.Ideal
+	default:
+		s.Protocol = model.ExplicitCopy
 	}
 	return s
 }

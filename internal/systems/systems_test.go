@@ -5,6 +5,7 @@ import (
 
 	"heteromem/internal/addrspace"
 	"heteromem/internal/dram"
+	"heteromem/internal/model"
 )
 
 func TestCaseStudiesComposition(t *testing.T) {
@@ -32,22 +33,36 @@ func TestCaseStudiesComposition(t *testing.T) {
 	}
 }
 
-func TestSystemBehaviourFlags(t *testing.T) {
+func TestSystemProtocols(t *testing.T) {
 	lrb := LRB()
-	if !lrb.OwnershipOps || !lrb.PageFaultOnFirstTouch || !lrb.SkipDeviceToHost {
-		t.Errorf("LRB flags wrong: %+v", lrb)
+	if lrb.Protocol != model.OwnershipFirstTouch {
+		t.Errorf("LRB protocol = %v, want %v", lrb.Protocol, model.OwnershipFirstTouch)
 	}
 	gmac := GMAC()
-	if gmac.OwnershipOps || gmac.PageFaultOnFirstTouch || !gmac.SkipDeviceToHost {
-		t.Errorf("GMAC flags wrong: %+v", gmac)
+	if gmac.Protocol != model.ADSMLazy {
+		t.Errorf("GMAC protocol = %v, want %v", gmac.Protocol, model.ADSMLazy)
 	}
 	cuda := CPUGPU()
-	if cuda.OwnershipOps || cuda.SkipDeviceToHost {
-		t.Errorf("CPU+GPU flags wrong: %+v", cuda)
+	if cuda.Protocol != model.ExplicitCopy {
+		t.Errorf("CPU+GPU protocol = %v, want %v", cuda.Protocol, model.ExplicitCopy)
 	}
 	ideal := IdealHetero()
+	if ideal.Protocol != model.Ideal {
+		t.Errorf("IDEAL-HETERO protocol = %v, want %v", ideal.Protocol, model.Ideal)
+	}
 	if !ideal.Params.IsIdeal() {
 		t.Error("IDEAL-HETERO has non-ideal params")
+	}
+	for _, s := range CaseStudies() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s does not validate: %v", s.Name, err)
+		}
+		p, err := s.NewProtocol()
+		if err != nil {
+			t.Errorf("%s: NewProtocol: %v", s.Name, err)
+		} else if p.Name() != s.Protocol.String() {
+			t.Errorf("%s: protocol name %q != kind %q", s.Name, p.Name(), s.Protocol)
+		}
 	}
 }
 
@@ -77,11 +92,14 @@ func TestForModel(t *testing.T) {
 			t.Errorf("ForModel(%v) not ideal", m)
 		}
 	}
-	if !ForModel(addrspace.PartiallyShared).OwnershipOps {
-		t.Error("PAS semantics should keep ownership ops")
+	if p := ForModel(addrspace.PartiallyShared).Protocol; !p.UsesOwnership() {
+		t.Errorf("PAS semantics should keep ownership ops, got protocol %v", p)
 	}
-	if ForModel(addrspace.Unified).OwnershipOps {
-		t.Error("unified should not have ownership ops")
+	if p := ForModel(addrspace.PartiallyShared).Protocol; p.FirstTouchFaults() {
+		t.Errorf("Figure 7 isolates semantics from fault cost; protocol %v takes faults", p)
+	}
+	if p := ForModel(addrspace.Unified).Protocol; p.UsesOwnership() {
+		t.Errorf("unified should not have ownership ops, got protocol %v", p)
 	}
 }
 
