@@ -5,12 +5,16 @@
 // Usage:
 //
 //	benchcmp -old prev/BENCH_2026-07-01.json -new BENCH_2026-08-05.json
+//	benchcmp -old ... -new ... -md "$GITHUB_STEP_SUMMARY"
 //
 // Entries are matched by name. For cost-like units (ns/op, B/op,
 // allocs/op — lower is better) the comparison fails if the new value
-// exceeds the old by more than the threshold (default 10%). Entries
-// present in only one report are listed but never fail the run, so
-// adding or renaming benchmarks does not break CI.
+// exceeds the old by more than the threshold (default 10%); movement
+// below the old value by more than the threshold is reported as an
+// improvement. Entries present in only one report are listed but never
+// fail the run, so adding or renaming benchmarks does not break CI.
+// With -md, a markdown summary table is appended to the given file
+// (pass $GITHUB_STEP_SUMMARY to surface it on the workflow run page).
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 
 	"heteromem/internal/obs"
 )
@@ -47,13 +52,26 @@ func load(path string) (map[string]obs.BenchEntry, error) {
 	return m, nil
 }
 
+// row is one comparison line, kept for both the text and markdown
+// renderings.
+type row struct {
+	status string // "ok", "improved", "REGRESSED", "new", "gone"
+	name   string
+	oldV   float64
+	newV   float64
+	unit   string
+	delta  float64 // relative change, valid for matched entries
+	match  bool    // both sides present
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchcmp: ")
 	var (
 		oldPath   = flag.String("old", "", "baseline BENCH_<date>.json")
 		newPath   = flag.String("new", "", "candidate BENCH_<date>.json")
-		threshold = flag.Float64("threshold", 0.10, "allowed relative regression on cost units")
+		threshold = flag.Float64("threshold", 0.10, "relative change on cost units counted as a regression or improvement")
+		mdPath    = flag.String("md", "", "append a markdown summary table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -75,29 +93,64 @@ func main() {
 	}
 	sort.Strings(names)
 
-	regressions := 0
+	var rows []row
+	regressions, improvements := 0, 0
 	for _, name := range names {
 		ne := newE[name]
 		oe, ok := oldE[name]
 		if !ok {
-			fmt.Printf("NEW    %-60s %14.1f %s\n", name, ne.Value, ne.Unit)
+			rows = append(rows, row{status: "new", name: name, newV: ne.Value, unit: ne.Unit})
 			continue
 		}
 		delta := 0.0
 		if oe.Value != 0 {
 			delta = (ne.Value - oe.Value) / oe.Value
 		}
-		status := "ok    "
-		if costUnits[ne.Unit] && oe.Value > 0 && ne.Value > oe.Value*(1+*threshold) {
-			status = "REGRES"
-			regressions++
+		status := "ok"
+		if costUnits[ne.Unit] && oe.Value > 0 {
+			switch {
+			case ne.Value > oe.Value*(1+*threshold):
+				status = "REGRESSED"
+				regressions++
+			case ne.Value < oe.Value*(1-*threshold):
+				status = "improved"
+				improvements++
+			}
 		}
-		fmt.Printf("%s %-60s %14.1f -> %14.1f %s (%+.1f%%)\n",
-			status, name, oe.Value, ne.Value, ne.Unit, delta*100)
+		rows = append(rows, row{status: status, name: name, oldV: oe.Value, newV: ne.Value, unit: ne.Unit, delta: delta, match: true})
 	}
-	for name, oe := range oldE {
+	goneNames := make([]string, 0, len(oldE))
+	for name := range oldE {
 		if _, ok := newE[name]; !ok {
-			fmt.Printf("GONE   %-60s %14.1f %s\n", name, oe.Value, oe.Unit)
+			goneNames = append(goneNames, name)
+		}
+	}
+	sort.Strings(goneNames)
+	for _, name := range goneNames {
+		oe := oldE[name]
+		rows = append(rows, row{status: "gone", name: name, oldV: oe.Value, unit: oe.Unit})
+	}
+
+	for _, r := range rows {
+		switch r.status {
+		case "new":
+			fmt.Printf("NEW    %-60s %14.1f %s\n", r.name, r.newV, r.unit)
+		case "gone":
+			fmt.Printf("GONE   %-60s %14.1f %s\n", r.name, r.oldV, r.unit)
+		default:
+			tag := map[string]string{"ok": "ok    ", "improved": "IMPROV", "REGRESSED": "REGRES"}[r.status]
+			fmt.Printf("%s %-60s %14.1f -> %14.1f %s (%+.1f%%)\n",
+				tag, r.name, r.oldV, r.newV, r.unit, r.delta*100)
+		}
+	}
+	if improvements > 0 {
+		fmt.Printf("benchcmp: %d entr%s improved more than %.0f%%\n",
+			improvements, plural(improvements), *threshold*100)
+	}
+
+	if *mdPath != "" {
+		if err := appendMarkdown(*mdPath, rows, regressions, improvements, *threshold); err != nil {
+			log.Fatal(err)
 		}
 	}
 
@@ -106,6 +159,47 @@ func main() {
 			regressions, plural(regressions), *threshold*100)
 	}
 	fmt.Println("benchcmp: no regressions beyond threshold")
+}
+
+// appendMarkdown appends the comparison as a markdown table, the format
+// GitHub renders from $GITHUB_STEP_SUMMARY (which is append-only: other
+// steps may have written their own sections).
+func appendMarkdown(path string, rows []row, regressions, improvements int, threshold float64) error {
+	var b strings.Builder
+	verdict := "✅ no regressions beyond threshold"
+	if regressions > 0 {
+		verdict = fmt.Sprintf("❌ %d entr%s regressed more than %.0f%%", regressions, plural(regressions), threshold*100)
+	}
+	fmt.Fprintf(&b, "### Benchmark comparison\n\n%s", verdict)
+	if improvements > 0 {
+		fmt.Fprintf(&b, "; %d improved more than %.0f%%", improvements, threshold*100)
+	}
+	b.WriteString("\n\n| benchmark | old | new | unit | change | status |\n|---|--:|--:|---|--:|---|\n")
+	for _, r := range rows {
+		icon := map[string]string{
+			"ok": "", "improved": "🟢 improved", "REGRESSED": "🔴 regressed",
+			"new": "new", "gone": "gone",
+		}[r.status]
+		switch r.status {
+		case "new":
+			fmt.Fprintf(&b, "| %s | — | %.1f | %s | — | %s |\n", r.name, r.newV, r.unit, icon)
+		case "gone":
+			fmt.Fprintf(&b, "| %s | %.1f | — | %s | — | %s |\n", r.name, r.oldV, r.unit, icon)
+		default:
+			fmt.Fprintf(&b, "| %s | %.1f | %.1f | %s | %+.1f%% | %s |\n",
+				r.name, r.oldV, r.newV, r.unit, r.delta*100, icon)
+		}
+	}
+	b.WriteString("\n")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(b.String()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func plural(n int) string {

@@ -20,6 +20,7 @@ import (
 	"heteromem/internal/energy"
 	"heteromem/internal/locality"
 	"heteromem/internal/obs"
+	"heteromem/internal/prof"
 	"heteromem/internal/report"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
@@ -45,6 +46,7 @@ func main() {
 		metricsOut     = flag.String("metrics-json", "", "write the final metrics registry as JSON; \"-\" for stdout (single system only)")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	observing := *traceOut != "" || *intervalOut != "" || *metricsOut != ""
 	if observing && *all {

@@ -18,6 +18,7 @@ import (
 
 	"heteromem/internal/guideline"
 	"heteromem/internal/harness"
+	"heteromem/internal/prof"
 	"heteromem/internal/report"
 	"heteromem/internal/systems"
 )
@@ -39,6 +40,7 @@ func main() {
 		par         = flag.Int("par", 0, "sweep worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	defer prof.Start()()
 	exec := harness.Executor{Par: *par}
 
 	kernels := harness.DefaultKernels()

@@ -134,7 +134,10 @@ type Cache struct {
 	tick      uint64
 	stats     Stats
 	obs       cacheObs
-	maxExpl   int
+	// flushed is the stats snapshot at the last FlushObs: the obs
+	// instruments are advanced by the delta, not bumped per event.
+	flushed Stats
+	maxExpl int
 }
 
 // cacheObs holds the cache's observability instruments; nil (the
@@ -147,13 +150,27 @@ type cacheObs struct {
 
 // Instrument registers the cache's hit/miss/eviction counters with reg
 // under the given prefix (e.g. "mem.cpu.l1d" yields
-// "mem.cpu.l1d.hits"). A nil registry detaches the instruments.
+// "mem.cpu.l1d.hits"). A nil registry detaches the instruments. The
+// counters are advanced in batches (FlushObs), starting from the
+// cache's state at registration.
 func (c *Cache) Instrument(reg *obs.Registry, prefix string) {
 	c.obs = cacheObs{
 		hits:      reg.Counter(prefix + ".hits"),
 		misses:    reg.Counter(prefix + ".misses"),
 		evictions: reg.Counter(prefix + ".evictions"),
 	}
+	c.flushed = c.stats
+}
+
+// FlushObs pushes counter growth since the previous flush into the
+// registered instruments. Batching keeps the lookup hot path free of
+// per-event instrument traffic; totals at flush points are identical
+// to per-event bumping.
+func (c *Cache) FlushObs() {
+	c.obs.hits.Add(c.stats.Hits - c.flushed.Hits)
+	c.obs.misses.Add(c.stats.Misses - c.flushed.Misses)
+	c.obs.evictions.Add(c.stats.Evictions - c.flushed.Evictions)
+	c.flushed = c.stats
 }
 
 // New returns a cache with the given configuration.
@@ -213,6 +230,13 @@ func (c *Cache) tagOf(addr uint64) uint64    { return addr >> c.lineShift }
 // miss the caller is expected to fetch the line from the next level and
 // call Fill.
 func (c *Cache) Lookup(addr uint64, write bool) bool {
+	return c.LookupWay(addr, write) >= 0
+}
+
+// LookupWay is Lookup, additionally reporting which way served the hit
+// (negative on a miss) so callers can memoize the block's location and
+// replay later hits through HitWay without the set scan.
+func (c *Cache) LookupWay(addr uint64, write bool) int {
 	c.tick++
 	c.stats.Accesses++
 	set := c.sets[c.setIndex(addr)]
@@ -224,13 +248,36 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 				set[i].dirty = true
 			}
 			c.stats.Hits++
-			c.obs.hits.Inc()
-			return true
+			return i
 		}
 	}
 	c.stats.Misses++
-	c.obs.misses.Inc()
-	return false
+	return -1
+}
+
+// HitWay replays an access against a memoized way. If the way still
+// holds the line containing addr, the access is applied with exactly
+// Lookup's hit bookkeeping (tick, recency refresh, dirty bit, access
+// and hit counts) and HitWay reports true. Otherwise the cache is left
+// completely untouched and the caller falls back to Lookup. The tag
+// verification makes a stale memo safe, never wrong.
+func (c *Cache) HitWay(addr uint64, way int, write bool) bool {
+	set := c.sets[c.setIndex(addr)]
+	if uint(way) >= uint(len(set)) {
+		return false
+	}
+	b := &set[way]
+	if !b.valid || b.tag != c.tagOf(addr) {
+		return false
+	}
+	c.tick++
+	c.stats.Accesses++
+	b.lastUse = c.tick
+	if write {
+		b.dirty = true
+	}
+	c.stats.Hits++
+	return true
 }
 
 // Probe reports whether the line containing addr is present without
@@ -281,7 +328,6 @@ func (c *Cache) Fill(addr uint64, explicit, dirty bool) Eviction {
 			Explicit: set[victim].explicit,
 		}
 		c.stats.Evictions++
-		c.obs.evictions.Inc()
 		if ev.Dirty {
 			c.stats.Writebacks++
 		}
@@ -350,6 +396,7 @@ func (c *Cache) Reset() {
 	}
 	c.tick = 0
 	c.stats = Stats{}
+	c.flushed = Stats{}
 }
 
 // Invalidate removes the line containing addr if present, reporting

@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"testing"
+
+	"heteromem/internal/obs"
+)
+
+func TestLookupWayMatchesLookup(t *testing.T) {
+	c := smallCache(t, LRU)
+	if way := c.LookupWay(0x40, false); way >= 0 {
+		t.Fatalf("cold lookup returned way %d", way)
+	}
+	c.Fill(0x40, false, false)
+	way := c.LookupWay(0x40, false)
+	if way < 0 {
+		t.Fatal("resident line not found")
+	}
+	// The way index must be replayable through HitWay.
+	if !c.HitWay(0x40, way, false) {
+		t.Fatalf("HitWay rejected the way LookupWay returned (%d)", way)
+	}
+}
+
+func TestHitWayMutatesLikeLookup(t *testing.T) {
+	// A HitWay hit must leave exactly the state Lookup's hit path
+	// leaves: same stats, same dirty bit, same recency.
+	a := smallCache(t, LRU)
+	b := smallCache(t, LRU)
+	a.Fill(0x80, false, false)
+	b.Fill(0x80, false, false)
+	way := a.LookupWay(0x80, false) // counts like a Lookup read hit
+	if way < 0 {
+		t.Fatal("line not resident")
+	}
+	b.Lookup(0x80, false)
+	b.Lookup(0x80, true)
+	if !a.HitWay(0x80, way, true) {
+		t.Fatal("HitWay missed a resident line")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("diverged: HitWay %+v, Lookup %+v", a.Stats(), b.Stats())
+	}
+	// Both writes must have dirtied the line: evicting it writes back.
+	if ev := fillUntilEvicted(a, 0x80); !ev.Dirty {
+		t.Fatal("HitWay write did not dirty the line")
+	}
+}
+
+// fillUntilEvicted fills conflicting lines until addr's line is evicted
+// and returns that eviction.
+func fillUntilEvicted(c *Cache, addr uint64) Eviction {
+	stride := uint64(c.Config().SizeBytes) / uint64(c.Config().Ways)
+	for k := 1; k <= c.Config().Ways; k++ {
+		if ev := c.Fill(addr+uint64(k)*stride, false, false); ev.Valid && c.LineFor(ev.Addr) == c.LineFor(addr) {
+			return ev
+		}
+	}
+	return Eviction{}
+}
+
+func TestHitWayRejectsStaleWay(t *testing.T) {
+	c := smallCache(t, LRU)
+	c.Fill(0x40, false, false)
+	way := c.LookupWay(0x40, false)
+	before := c.Stats()
+	// Wrong line in that way, out-of-range way, invalidated block: all
+	// must fail without mutating anything.
+	if c.HitWay(0x1040, way, false) {
+		t.Fatal("HitWay hit a different line")
+	}
+	if c.HitWay(0x40, c.Config().Ways+3, false) {
+		t.Fatal("HitWay accepted an out-of-range way")
+	}
+	c.Invalidate(0x40)
+	if c.HitWay(0x40, way, false) {
+		t.Fatal("HitWay hit an invalidated block")
+	}
+	if after := c.Stats(); after != before {
+		t.Fatalf("failed HitWay probes mutated stats: %+v -> %+v", before, after)
+	}
+}
+
+func TestFlushObsBatchesDeltas(t *testing.T) {
+	c := smallCache(t, LRU)
+	reg := obs.NewRegistry()
+	c.Instrument(reg, "t")
+	c.Fill(0x40, false, false)
+	c.Lookup(0x40, false) // hit
+	c.Lookup(0x80, false) // miss
+	if got := reg.CounterValue("t.hits"); got != 0 {
+		t.Fatalf("hits visible before flush: %d", got)
+	}
+	c.FlushObs()
+	if h, m := reg.CounterValue("t.hits"), reg.CounterValue("t.misses"); h != 1 || m != 1 {
+		t.Fatalf("flushed hits=%d misses=%d, want 1/1", h, m)
+	}
+	// A second flush with no new events must not double-count.
+	c.FlushObs()
+	if h := reg.CounterValue("t.hits"); h != 1 {
+		t.Fatalf("idempotent flush broke: hits=%d", h)
+	}
+	// Events before Instrument must not replay into a new registry.
+	reg2 := obs.NewRegistry()
+	c.Instrument(reg2, "t")
+	c.Lookup(0x40, false)
+	c.FlushObs()
+	if h := reg2.CounterValue("t.hits"); h != 1 {
+		t.Fatalf("fresh registry hits=%d, want only the post-Instrument hit", h)
+	}
+}

@@ -9,9 +9,20 @@ import (
 // completes when the primary's fill arrives); when every register is
 // occupied, a new primary miss must wait until the earliest outstanding
 // fill returns.
+//
+// The file is a pair of parallel slices rather than a map: real files
+// are a handful of registers (Table II uses 16 per PU), so the linear
+// scan beats hashing and, more importantly, expiry is an in-place
+// compaction instead of a map iteration — the file sits on the miss
+// path of every access.
 type MSHR struct {
 	capacity int
-	entries  map[uint64]clock.Time // line -> fill-complete time
+	lines    []uint64
+	readys   []clock.Time // fill-complete time, parallel to lines
+	// minReady is the earliest outstanding fill time (zero when the
+	// file is empty), so expire only walks the file when an entry can
+	// actually retire instead of on every access.
+	minReady clock.Time
 	merges   uint64
 	stalls   uint64
 }
@@ -20,24 +31,60 @@ type MSHR struct {
 // Capacity zero or negative disables the structure (unlimited, no
 // merging), useful for idealised configurations.
 func NewMSHR(capacity int) *MSHR {
-	return &MSHR{capacity: capacity, entries: make(map[uint64]clock.Time)}
+	n := capacity
+	if n <= 0 {
+		n = 16
+	}
+	return &MSHR{
+		capacity: capacity,
+		lines:    make([]uint64, 0, n),
+		readys:   make([]clock.Time, 0, n),
+	}
 }
 
 // Reset returns the file to its just-constructed state: no outstanding
 // entries, merge and stall counts cleared.
 func (m *MSHR) Reset() {
-	clear(m.entries)
+	m.lines = m.lines[:0]
+	m.readys = m.readys[:0]
+	m.minReady = 0
 	m.merges = 0
 	m.stalls = 0
 }
 
-// expire drops entries whose fills have completed by now.
+// expire drops entries whose fills have completed by now, compacting in
+// place. The walk is skipped entirely unless the earliest outstanding
+// fill has retired, which is behaviour-identical: an un-expired stale
+// entry can neither satisfy Outstanding (its ready time is not in the
+// future) nor exist when minReady is still ahead of now.
 func (m *MSHR) expire(now clock.Time) {
-	for line, ready := range m.entries {
+	if len(m.lines) == 0 || m.minReady > now {
+		return
+	}
+	min := clock.Time(0)
+	k := 0
+	for i, ready := range m.readys {
 		if ready <= now {
-			delete(m.entries, line)
+			continue
+		}
+		m.lines[k], m.readys[k] = m.lines[i], ready
+		k++
+		if min == 0 || ready < min {
+			min = ready
 		}
 	}
+	m.lines, m.readys = m.lines[:k], m.readys[:k]
+	m.minReady = min
+}
+
+// find returns the index of line in the file, or -1.
+func (m *MSHR) find(line uint64) int {
+	for i, l := range m.lines {
+		if l == line {
+			return i
+		}
+	}
+	return -1
 }
 
 // Outstanding reports whether a miss to line is already in flight at now,
@@ -45,10 +92,9 @@ func (m *MSHR) expire(now clock.Time) {
 // merges: it finishes at the returned time without issuing a new request.
 func (m *MSHR) Outstanding(line uint64, now clock.Time) (clock.Time, bool) {
 	m.expire(now)
-	ready, ok := m.entries[line]
-	if ok && ready > now {
+	if i := m.find(line); i >= 0 && m.readys[i] > now {
 		m.merges++
-		return ready, true
+		return m.readys[i], true
 	}
 	return 0, false
 }
@@ -59,10 +105,10 @@ func (m *MSHR) Outstanding(line uint64, now clock.Time) (clock.Time, bool) {
 // back) completion time the caller must use.
 func (m *MSHR) Allocate(line uint64, now, ready clock.Time) clock.Time {
 	m.expire(now)
-	if m.capacity > 0 && len(m.entries) >= m.capacity {
+	if m.capacity > 0 && len(m.lines) >= m.capacity {
 		earliest := clock.Time(0)
 		first := true
-		for _, r := range m.entries {
+		for _, r := range m.readys {
 			if first || r < earliest {
 				earliest = r
 				first = false
@@ -76,14 +122,22 @@ func (m *MSHR) Allocate(line uint64, now, ready clock.Time) clock.Time {
 		}
 		m.expire(earliest)
 	}
-	m.entries[line] = ready
+	if i := m.find(line); i >= 0 {
+		m.readys[i] = ready
+	} else {
+		m.lines = append(m.lines, line)
+		m.readys = append(m.readys, ready)
+	}
+	if len(m.lines) == 1 || ready < m.minReady {
+		m.minReady = ready
+	}
 	return ready
 }
 
 // InFlight returns the number of outstanding entries at now.
 func (m *MSHR) InFlight(now clock.Time) int {
 	m.expire(now)
-	return len(m.entries)
+	return len(m.lines)
 }
 
 // Merges returns how many secondary misses merged onto a primary.

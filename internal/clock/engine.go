@@ -59,11 +59,13 @@ func (e *Engine) Schedule(at Time, fn Event) {
 	if at < e.now {
 		panic(fmt.Sprintf("clock: schedule at %v before now %v", at, e.now))
 	}
-	if e.byTime == nil {
-		e.byTime = make(map[Time]*bucket)
-	}
+	// A nil map read is fine, so the zero-value init lives on the cold
+	// bucket-allocation branch, not in front of every event.
 	b := e.byTime[at]
 	if b == nil {
+		if e.byTime == nil {
+			e.byTime = make(map[Time]*bucket)
+		}
 		if n := len(e.free); n > 0 {
 			b = e.free[n-1]
 			e.free[n-1] = nil

@@ -1,0 +1,24 @@
+package clock
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the steady-state cost of scheduling
+// and draining events: a window of timestamps is populated (several
+// events share each bucket) and periodically drained, the pattern the
+// simulator's resources produce. Steady state must not allocate — the
+// bucket pool absorbs the churn.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := Event(func(Time) {})
+	const window = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := e.Now().Add(Duration(1 + i%window))
+		e.Schedule(at, fn)
+		if i%window == window-1 {
+			e.RunUntil(at)
+		}
+	}
+	e.Run()
+}

@@ -63,6 +63,10 @@ type Core struct {
 	// maximum trace dependency distance (uint16).
 	comp   []clock.Time
 	retire []clock.Time
+	// srcBuf is the lookahead batch shared by the core's Executions (one
+	// is live at a time); it lives here so starting a replay allocates
+	// nothing.
+	srcBuf []trace.Inst
 }
 
 // coreObs holds the core's observability instruments under the cpu.*
@@ -97,6 +101,9 @@ func (c *Core) Instrument(reg *obs.Registry) {
 
 const ringSize = 1 << 16
 
+// srcBatch is the lookahead batch size pulled from the trace source.
+const srcBatch = 64
+
 // New returns a core with the given configuration bound to a memory
 // system and communication cost model.
 func New(cfg config.CoreConfig, memory Memory, comm CommCoster) *Core {
@@ -115,6 +122,7 @@ func New(cfg config.CoreConfig, memory Memory, comm CommCoster) *Core {
 		comm:   comm,
 		comp:   make([]clock.Time, ringSize),
 		retire: make([]clock.Time, ringSize),
+		srcBuf: make([]trace.Inst, srcBatch),
 	}
 	if cfg.PredictorTableBits > 0 {
 		c.pred = bpred.NewGshare(cfg.PredictorTableBits, cfg.PredictorHistoryBits)
@@ -131,16 +139,18 @@ func (c *Core) Domain() *clock.Domain { return c.dom }
 // shared resources in time order. A core supports one live Execution at
 // a time (the completion rings are per-core).
 //
-// The execution keeps a one-instruction lookahead pulled from the
-// source, so Done is accurate the moment the last instruction executes
-// (the co-simulation loop in internal/sim depends on that) and pausing at
-// a StepUntil deadline never loses a record.
+// The execution keeps a lookahead batch pulled from the source (refilled
+// the moment it drains), so Done is accurate the moment the last
+// instruction executes (the co-simulation loop in internal/sim depends on
+// that) and pausing at a StepUntil deadline never loses a record. Pulling
+// in batches keeps the per-instruction source call out of the replay
+// loop; it does not change when instructions execute.
 type Execution struct {
-	c    *Core
-	src  trace.Source
-	i    int
-	pend trace.Inst // next instruction to execute (valid when have)
-	have bool
+	c   *Core
+	src trace.Source
+	i   int
+	bi  int // next instruction to execute, in c.srcBuf
+	bn  int // instructions buffered in c.srcBuf
 
 	start      clock.Time
 	cur        clock.Time // dispatch-cycle clock
@@ -148,6 +158,13 @@ type Execution struct {
 	maxComp    clock.Time // latest completion seen (for barriers/drain)
 	lastRetire clock.Time
 	stats      Stats
+	// flushed is the Stats snapshot at the last FlushObs; the replay loop
+	// bumps only the plain stats fields and the instruments advance by the
+	// delta at flush points, keeping instrument calls off the hot path.
+	flushed Stats
+	// memLat accumulates load-latency observations between flushes; it
+	// only fills when a latency histogram is registered.
+	memLat obs.HistAccum
 }
 
 // Begin starts replaying the source at time at. A nil source is an empty
@@ -155,7 +172,7 @@ type Execution struct {
 func (c *Core) Begin(src trace.Source, at clock.Time) *Execution {
 	e := &Execution{c: c, src: src, start: at, cur: at}
 	if src != nil {
-		e.pend, e.have = src.Next()
+		e.bn = trace.FillBatch(src, c.srcBuf)
 	}
 	return e
 }
@@ -168,7 +185,7 @@ func (c *Core) Begin(src trace.Source, at clock.Time) *Execution {
 func (c *Core) Run(src trace.Source, start clock.Time) (clock.Time, Stats) {
 	e := Execution{c: c, src: src, start: start, cur: start}
 	if src != nil {
-		e.pend, e.have = src.Next()
+		e.bn = trace.FillBatch(src, c.srcBuf)
 	}
 	e.StepUntil(clock.Time(^uint64(0)))
 	return e.End()
@@ -181,7 +198,7 @@ func (c *Core) RunStream(s trace.Stream, start clock.Time) (clock.Time, Stats) {
 }
 
 // Done reports whether every instruction has executed.
-func (e *Execution) Done() bool { return !e.have }
+func (e *Execution) Done() bool { return e.bi >= e.bn }
 
 // Now returns the dispatch clock — where the front end currently is.
 func (e *Execution) Now() clock.Time { return e.cur }
@@ -191,8 +208,8 @@ func (e *Execution) Now() clock.Time { return e.cur }
 // progress when called with deadline >= Now().
 func (e *Execution) StepUntil(deadline clock.Time) {
 	c := e.c
-	for e.have && e.cur <= deadline {
-		i, in := e.i, e.pend
+	for e.bi < e.bn && e.cur <= deadline {
+		i, in := e.i, c.srcBuf[e.bi]
 		if e.issued >= c.cfg.IssueWidth {
 			e.cur = e.cur.Add(c.cycle)
 			e.issued = 0
@@ -225,14 +242,12 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 		case in.Kind == isa.Branch:
 			done = ready.Add(c.cycle)
 			e.stats.Branches++
-			c.obs.branches.Inc()
 			correct := true
 			if c.pred != nil {
 				correct = c.pred.Update(in.PC, in.Taken)
 			}
 			if !correct {
 				e.stats.Mispredicts++
-				c.obs.mispredicts.Inc()
 				resume := done.Add(clock.Duration(c.cfg.MispredictPenalty) * c.cycle)
 				if resume > e.cur {
 					e.cur = resume
@@ -241,12 +256,12 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 			}
 		case in.Kind == isa.Load:
 			e.stats.MemOps++
-			c.obs.memOps.Inc()
 			done = c.memory.Access(mem.CPU, in.Addr, false, ready)
-			c.obs.memLatPS.Observe(uint64(done.Sub(ready)))
+			if c.obs.memLatPS != nil {
+				e.memLat.Observe(uint64(done.Sub(ready)))
+			}
 		case in.Kind == isa.Store:
 			e.stats.MemOps++
-			c.obs.memOps.Inc()
 			drain := c.memory.Access(mem.CPU, in.Addr, true, ready)
 			if drain > e.maxComp {
 				e.maxComp = drain
@@ -266,10 +281,8 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 			}
 		case in.Kind.IsComm():
 			e.stats.CommOps++
-			c.obs.commOps.Inc()
 			d := c.comm(in.Kind, in.Size)
 			e.stats.CommTime += d
-			c.obs.commTimePS.Add(uint64(d))
 			// A blocking API call serialises the core: it begins after all
 			// outstanding work and stalls dispatch until it returns.
 			at := clock.Max(ready, e.maxComp)
@@ -278,7 +291,6 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 			e.issued = 0
 		case in.Kind == isa.Push:
 			e.stats.PushOps++
-			c.obs.pushOps.Inc()
 			done = c.memory.Push(mem.CPU, in.Addr, in.Size, pushLevel(in.PushLevel), ready)
 		case in.Kind == isa.Barrier:
 			done = clock.Max(ready, e.maxComp).Add(c.cycle)
@@ -300,9 +312,12 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 		c.retire[slot] = e.lastRetire
 		e.issued++
 		e.stats.Instructions++
-		c.obs.instructions.Inc()
 		e.i++
-		e.pend, e.have = e.src.Next()
+		e.bi++
+		if e.bi >= e.bn {
+			e.bn = trace.FillBatch(e.src, c.srcBuf)
+			e.bi = 0
+		}
 	}
 }
 
@@ -312,10 +327,29 @@ func (e *Execution) End() (clock.Time, Stats) {
 	if !e.Done() {
 		panic("cpu: End called on unfinished execution")
 	}
+	e.FlushObs()
 	end := clock.Max(e.cur, e.maxComp)
 	st := e.stats
 	st.Duration = end.Sub(e.start)
 	return end, st
+}
+
+// FlushObs pushes the statistics accumulated since the previous flush
+// into the core's instruments. The co-simulation loop calls it before
+// each interval sample; End flushes the tail, so registry totals match
+// per-event bumping exactly. A no-op on an uninstrumented core (every
+// instrument is nil-safe).
+func (e *Execution) FlushObs() {
+	c, st, fl := e.c, &e.stats, &e.flushed
+	c.obs.instructions.Add(st.Instructions - fl.Instructions)
+	c.obs.branches.Add(st.Branches - fl.Branches)
+	c.obs.mispredicts.Add(st.Mispredicts - fl.Mispredicts)
+	c.obs.memOps.Add(st.MemOps - fl.MemOps)
+	c.obs.commOps.Add(st.CommOps - fl.CommOps)
+	c.obs.pushOps.Add(st.PushOps - fl.PushOps)
+	c.obs.commTimePS.Add(uint64(st.CommTime - fl.CommTime))
+	c.obs.memLatPS.Merge(&e.memLat)
+	e.flushed = *st
 }
 
 func pushLevel(l uint8) mem.Level {

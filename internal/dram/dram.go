@@ -153,6 +153,18 @@ type Controller struct {
 	channels []channel
 	stats    Stats
 	obs      ctrlObs
+
+	// Scratch buffers reused across SubmitBatch/TransferTime calls so
+	// batch scheduling allocates only the returned completion slice:
+	// pendBuf holds the not-yet-scheduled request indices, chBuf/bkBuf/
+	// rowBuf the per-request address decomposition (computed once per
+	// request instead of once per scheduling step), reqBuf the synthetic
+	// request list of a block transfer.
+	pendBuf []int
+	chBuf   []int32
+	bkBuf   []int32
+	rowBuf  []uint64
+	reqBuf  []Request
 }
 
 // ctrlObs holds the controller's observability instruments under the
@@ -301,17 +313,29 @@ func (c *Controller) SubmitBatch(reqs []Request) []clock.Time {
 		}
 		return done
 	}
-	pending := make([]int, len(reqs))
+	n := len(reqs)
+	if cap(c.pendBuf) < n {
+		c.pendBuf = make([]int, n)
+		c.chBuf = make([]int32, n)
+		c.bkBuf = make([]int32, n)
+		c.rowBuf = make([]uint64, n)
+	}
+	pending := c.pendBuf[:n]
+	chs, bks, rows := c.chBuf[:n], c.bkBuf[:n], c.rowBuf[:n]
+	// The address decomposition is static, so computing it once per
+	// request (instead of once per scheduling step) cannot change which
+	// request each step picks — only bank open-row state evolves.
 	for i := range reqs {
 		pending[i] = i
+		ch, bk, row := c.mapAddr(reqs[i].Addr)
+		chs[i], bks[i], rows[i] = int32(ch), int32(bk), row
 	}
 	for len(pending) > 0 {
 		pick := -1
 		// First ready: a pending request whose row is open in its bank.
 		for pi, idx := range pending {
-			chIdx, bkIdx, row := c.mapAddr(reqs[idx].Addr)
-			bk := &c.channels[chIdx].banks[bkIdx]
-			if bk.rowValid && bk.openRow == row {
+			bk := &c.channels[chs[idx]].banks[bks[idx]]
+			if bk.rowValid && bk.openRow == rows[idx] {
 				pick = pi
 				break
 			}
@@ -341,7 +365,10 @@ func (c *Controller) TransferTime(size uint64, now clock.Time) clock.Time {
 		return now
 	}
 	lines := (size + uint64(c.cfg.LineBytes) - 1) / uint64(c.cfg.LineBytes)
-	reqs := make([]Request, lines)
+	if uint64(cap(c.reqBuf)) < lines {
+		c.reqBuf = make([]Request, lines)
+	}
+	reqs := c.reqBuf[:lines]
 	for i := range reqs {
 		reqs[i] = Request{Addr: uint64(i) * uint64(c.cfg.LineBytes), Arrival: now}
 	}

@@ -60,6 +60,10 @@ type Core struct {
 	obs      coreObs
 
 	comp []clock.Time
+	// srcBuf is the lookahead batch shared by the core's Executions (one
+	// is live at a time); it lives here so starting a replay allocates
+	// nothing.
+	srcBuf []trace.Inst
 }
 
 // coreObs holds the core's observability instruments under the gpu.*
@@ -96,6 +100,9 @@ func (c *Core) Instrument(reg *obs.Registry) {
 
 const ringSize = 1 << 16
 
+// srcBatch is the lookahead batch size pulled from the trace source.
+const srcBatch = 64
+
 // LineBytes is the coalescing granularity, matching the hierarchy's
 // 64-byte lines.
 const LineBytes = 64
@@ -116,6 +123,7 @@ func New(cfg config.CoreConfig, memory Memory, comm CommCoster, swLat clock.Dura
 		swLat:    swLat,
 		Coalesce: true,
 		comp:     make([]clock.Time, ringSize),
+		srcBuf:   make([]trace.Inst, srcBatch),
 	}
 }
 
@@ -127,20 +135,27 @@ func (c *Core) Domain() *clock.Domain { return c.dom }
 // with the CPU in time order. A core supports one live Execution at a
 // time.
 //
-// Like the CPU's Execution, it keeps a one-instruction lookahead pulled
-// from the source so Done is accurate the moment the last instruction
-// executes.
+// Like the CPU's Execution, it keeps a lookahead batch pulled from the
+// source (refilled the moment it drains) so Done is accurate the moment
+// the last instruction executes, without a per-instruction source call.
 type Execution struct {
-	c    *Core
-	src  trace.Source
-	i    int
-	pend trace.Inst // next instruction to execute (valid when have)
-	have bool
+	c   *Core
+	src trace.Source
+	i   int
+	bi  int // next instruction to execute, in c.srcBuf
+	bn  int // instructions buffered in c.srcBuf
 
 	start   clock.Time
 	cur     clock.Time
 	maxComp clock.Time
 	stats   Stats
+	// flushed is the Stats snapshot at the last FlushObs; the replay loop
+	// bumps only the plain stats fields and the instruments advance by the
+	// delta at flush points, keeping instrument calls off the hot path.
+	flushed Stats
+	// memLat accumulates memory-latency observations between flushes; it
+	// only fills when a latency histogram is registered.
+	memLat obs.HistAccum
 }
 
 // Begin starts replaying the source at time at. A nil source is an empty
@@ -148,7 +163,7 @@ type Execution struct {
 func (c *Core) Begin(src trace.Source, at clock.Time) *Execution {
 	e := &Execution{c: c, src: src, start: at, cur: at}
 	if src != nil {
-		e.pend, e.have = src.Next()
+		e.bn = trace.FillBatch(src, c.srcBuf)
 	}
 	return e
 }
@@ -159,7 +174,7 @@ func (c *Core) Begin(src trace.Source, at clock.Time) *Execution {
 func (c *Core) Run(src trace.Source, start clock.Time) (clock.Time, Stats) {
 	e := Execution{c: c, src: src, start: start, cur: start}
 	if src != nil {
-		e.pend, e.have = src.Next()
+		e.bn = trace.FillBatch(src, c.srcBuf)
 	}
 	e.StepUntil(clock.Time(^uint64(0)))
 	return e.End()
@@ -172,7 +187,7 @@ func (c *Core) RunStream(s trace.Stream, start clock.Time) (clock.Time, Stats) {
 }
 
 // Done reports whether every instruction has executed.
-func (e *Execution) Done() bool { return !e.have }
+func (e *Execution) Done() bool { return e.bi >= e.bn }
 
 // Now returns the in-order issue clock.
 func (e *Execution) Now() clock.Time { return e.cur }
@@ -181,10 +196,14 @@ func (e *Execution) Now() clock.Time { return e.cur }
 // deadline (and the source has instructions left).
 func (e *Execution) StepUntil(deadline clock.Time) {
 	c := e.c
-	for e.have && e.cur <= deadline {
-		i, in := e.i, e.pend
+	for e.bi < e.bn && e.cur <= deadline {
+		i, in := e.i, c.srcBuf[e.bi]
 		e.i++
-		e.pend, e.have = e.src.Next()
+		e.bi++
+		if e.bi >= e.bn {
+			e.bn = trace.FillBatch(e.src, c.srcBuf)
+			e.bi = 0
+		}
 		// Dependencies pointing before the stream start are ignored: the
 		// producer ran in an earlier phase and has long completed.
 		ready := e.cur
@@ -204,7 +223,6 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 		switch {
 		case in.Kind == isa.Branch:
 			e.stats.Branches++
-			c.obs.branches.Inc()
 			done = issueAt.Add(c.cycle)
 			// No predictor: the front end stalls until the branch
 			// resolves, plus the refill bubble.
@@ -214,28 +232,25 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 			continue
 		case in.Kind.IsMem():
 			e.stats.MemOps++
-			c.obs.memOps.Inc()
 			done = c.accessMem(in, issueAt, &e.stats)
-			c.obs.memLatPS.Observe(uint64(done.Sub(issueAt)))
+			if c.obs.memLatPS != nil {
+				e.memLat.Observe(uint64(done.Sub(issueAt)))
+			}
 		case in.Kind.IsSoftwareCache():
 			if c.memory.Scratchpad().Resident(in.Addr) {
 				e.stats.SWHits++
-				c.obs.swHits.Inc()
 				done = issueAt.Add(c.swLat)
 			} else {
 				// Data was never placed: the access falls through to the
 				// hardware hierarchy (and is counted so the workload
 				// author can find the placement bug).
 				e.stats.SWMisses++
-				c.obs.swMisses.Inc()
 				done = c.memory.Access(mem.GPU, in.Addr, in.Kind == isa.SWStore, issueAt)
 			}
 		case in.Kind.IsComm():
 			e.stats.CommOps++
-			c.obs.commOps.Inc()
 			d := c.comm(in.Kind, in.Size)
 			e.stats.CommTime += d
-			c.obs.commTimePS.Add(uint64(d))
 			at := clock.Max(issueAt, e.maxComp)
 			done = at.Add(d)
 			e.cur = done
@@ -244,7 +259,6 @@ func (e *Execution) StepUntil(deadline clock.Time) {
 			continue
 		case in.Kind == isa.Push:
 			e.stats.PushOps++
-			c.obs.pushOps.Inc()
 			done = c.memory.Push(mem.GPU, in.Addr, in.Size, pushLevel(in.PushLevel), issueAt)
 		case in.Kind == isa.Barrier:
 			done = clock.Max(issueAt, e.maxComp).Add(c.cycle)
@@ -271,20 +285,39 @@ func (e *Execution) End() (clock.Time, Stats) {
 	if !e.Done() {
 		panic("gpu: End called on unfinished execution")
 	}
+	e.FlushObs()
 	end := clock.Max(e.cur, e.maxComp)
 	st := e.stats
 	st.Duration = end.Sub(e.start)
 	return end, st
 }
 
-// record notes instruction i's completion time. It runs exactly once per
-// executed instruction, so it also carries the instruction-counter bump.
+// FlushObs pushes the statistics accumulated since the previous flush
+// into the core's instruments. The co-simulation loop calls it before
+// each interval sample; End flushes the tail, so registry totals match
+// per-event bumping exactly. A no-op on an uninstrumented core (every
+// instrument is nil-safe).
+func (e *Execution) FlushObs() {
+	c, st, fl := e.c, &e.stats, &e.flushed
+	c.obs.instructions.Add(st.Instructions - fl.Instructions)
+	c.obs.branches.Add(st.Branches - fl.Branches)
+	c.obs.memOps.Add(st.MemOps - fl.MemOps)
+	c.obs.lineRequests.Add(st.LineRequests - fl.LineRequests)
+	c.obs.swHits.Add(st.SWHits - fl.SWHits)
+	c.obs.swMisses.Add(st.SWMisses - fl.SWMisses)
+	c.obs.commOps.Add(st.CommOps - fl.CommOps)
+	c.obs.pushOps.Add(st.PushOps - fl.PushOps)
+	c.obs.commTimePS.Add(uint64(st.CommTime - fl.CommTime))
+	c.obs.memLatPS.Merge(&e.memLat)
+	e.flushed = *st
+}
+
+// record notes instruction i's completion time.
 func (e *Execution) record(i int, done clock.Time) {
 	e.c.comp[i%ringSize] = done
 	if done > e.maxComp {
 		e.maxComp = done
 	}
-	e.c.obs.instructions.Inc()
 }
 
 // accessMem times a (possibly SIMD) memory operation issued at issueAt.
@@ -292,7 +325,6 @@ func (c *Core) accessMem(in trace.Inst, issueAt clock.Time, st *Stats) clock.Tim
 	write := in.Kind.IsStore()
 	if !in.Kind.IsSIMD() {
 		st.LineRequests++
-		c.obs.lineRequests.Inc()
 		return c.memory.Access(mem.GPU, in.Addr, write, issueAt)
 	}
 	lanes := in.ActiveLanes()
@@ -307,7 +339,6 @@ func (c *Core) accessMem(in trace.Inst, issueAt clock.Time, st *Stats) clock.Tim
 		var done clock.Time
 		for line := first; ; line += LineBytes {
 			st.LineRequests++
-			c.obs.lineRequests.Inc()
 			if d := c.memory.Access(mem.GPU, line, write, issueAt); d > done {
 				done = d
 			}
@@ -327,7 +358,6 @@ func (c *Core) accessMem(in trace.Inst, issueAt clock.Time, st *Stats) clock.Tim
 	var done clock.Time
 	for l := 0; l < lanes; l++ {
 		st.LineRequests++
-		c.obs.lineRequests.Inc()
 		addr := in.Addr + uint64(l)*laneBytes
 		at := issueAt.Add(clock.Duration(l) * c.cycle)
 		if d := c.memory.Access(mem.GPU, addr, write, at); d > done {

@@ -1,0 +1,178 @@
+package mem
+
+import (
+	"testing"
+
+	"heteromem/internal/clock"
+)
+
+// fastH returns a baseline hierarchy with one CPU line resident and
+// memoized: the first access misses and fills, the second hits through
+// the normal probe and installs the memo slot.
+func fastH(t *testing.T, addr uint64) (*Hierarchy, clock.Time) {
+	t.Helper()
+	h := MustNew(TableII())
+	now := h.Access(CPU, addr, false, 0)
+	now = h.Access(CPU, addr, false, now)
+	return h, now
+}
+
+func (h *Hierarchy) memoSlotFor(pu PU, addr uint64) *memoSlot {
+	line := h.topo.Line(addr)
+	return &h.memo[pu].slots[(line>>h.lineShift)&(memoSlots-1)]
+}
+
+func TestMemoHitMatchesL1Latency(t *testing.T) {
+	const addr = 0x4000
+	h, now := fastH(t, addr)
+	slot := h.memoSlotFor(CPU, addr)
+	if slot.gen != h.gen || slot.line != h.topo.Line(addr) {
+		t.Fatalf("L1 hit did not install a live memo slot: slot %+v, gen %d", *slot, h.gen)
+	}
+	// The memoized access must cost exactly the L1 latency, like any
+	// other L1 hit.
+	before := h.Stats()
+	d := h.Access(CPU, addr, false, now)
+	if got, want := d.Sub(now), h.Config().CPUL1DLat; got != want {
+		t.Fatalf("memo hit took %v, want L1 latency %v", got, want)
+	}
+	after := h.Stats()
+	if after.L1Hits[CPU] != before.L1Hits[CPU]+1 || after.Accesses[CPU] != before.Accesses[CPU]+1 {
+		t.Fatalf("memo hit miscounted: before %+v after %+v", before, after)
+	}
+}
+
+func TestMemoInvalidatedOnEviction(t *testing.T) {
+	const addr = 0x0
+	h, now := fastH(t, addr)
+	gen := h.gen
+	// Fill the line's set with conflicting lines (same set index every
+	// 4 KB in the 64-set, 8-way L1) until the memoized line is evicted.
+	cfg := h.Config().CPUL1D
+	setStride := uint64(cfg.SizeBytes) / uint64(cfg.Ways)
+	for k := 1; k <= cfg.Ways; k++ {
+		now = h.Access(CPU, addr+uint64(k)*setStride, false, now)
+	}
+	if h.gen == gen {
+		t.Fatal("misses did not advance the generation")
+	}
+	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen {
+		t.Fatal("memo slot still live after the line's set was overrun")
+	}
+	d := h.Access(CPU, addr, false, now)
+	if d.Sub(now) <= h.Config().CPUL1DLat {
+		t.Fatal("access hit a line the conflicting fills should have evicted")
+	}
+}
+
+func TestMemoInvalidatedOnPush(t *testing.T) {
+	const addr = 0x8000
+	h, now := fastH(t, addr)
+	gen := h.gen
+	h.Push(CPU, 0x100000, 4096, LevelShared, now)
+	if h.gen == gen {
+		t.Fatal("push did not advance the generation")
+	}
+	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen {
+		t.Fatal("memo slot survived an explicit placement")
+	}
+}
+
+func TestMemoInvalidatedOnFlush(t *testing.T) {
+	const addr = 0xC000
+	h, now := fastH(t, addr)
+	h.FlushPrivate(CPU)
+	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen {
+		t.Fatal("memo slot survived a private-cache flush")
+	}
+	d := h.Access(CPU, addr, false, now)
+	if d.Sub(now) <= h.Config().CPUL1DLat {
+		t.Fatal("access hit a line FlushPrivate should have invalidated")
+	}
+}
+
+func TestMemoInvalidatedOnCoherenceInvalidation(t *testing.T) {
+	cfg := TableII()
+	cfg.Coherence = CoherenceDirectory
+	h := MustNew(cfg)
+	const addr = 0x1000
+	// CPU reads twice so the line is both resident and memoized.
+	now := h.Access(CPU, addr, false, 0)
+	now = h.Access(CPU, addr, false, now)
+	gen := h.gen
+	// The GPU's write recalls the CPU's copy; the memo must go stale
+	// with it, and the CPU's next read must miss.
+	now = h.Access(GPU, addr, true, now)
+	if h.gen == gen {
+		t.Fatal("remote invalidation did not advance the generation")
+	}
+	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen {
+		t.Fatal("memo slot survived a cross-PU invalidation")
+	}
+	d := h.Access(CPU, addr, false, now)
+	if d.Sub(now) <= h.Config().CPUL1DLat {
+		t.Fatal("CPU read hit a copy the GPU's write should have invalidated")
+	}
+}
+
+func TestMemoResetClearsSlots(t *testing.T) {
+	const addr = 0x4000
+	h, _ := fastH(t, addr)
+	h.Reset()
+	if h.gen != 1 {
+		t.Fatalf("reset generation = %d, want 1", h.gen)
+	}
+	if slot := h.memoSlotFor(CPU, addr); *slot != (memoSlot{}) {
+		t.Fatalf("reset left memo slot %+v", *slot)
+	}
+}
+
+func TestL1HitPathDoesNotAllocate(t *testing.T) {
+	const addr = 0x4000
+	h, now := fastH(t, addr)
+	if n := testing.AllocsPerRun(100, func() {
+		h.Access(CPU, addr, false, now)
+	}); n != 0 {
+		t.Fatalf("L1-hit access allocates %.1f objects", n)
+	}
+}
+
+// BenchmarkHierarchyAccess exercises the three service tiers of a
+// single access: the L1-hit fast path, an L3 hit behind a working set
+// too large for the private levels, and an ever-cold DRAM stream.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	b.Run("l1-hit", func(b *testing.B) {
+		h := MustNew(TableII())
+		now := h.Access(CPU, 0, false, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now = h.Access(CPU, 0, false, now)
+		}
+	})
+	b.Run("l3-hit", func(b *testing.B) {
+		h := MustNew(TableII())
+		// 1 MB round-robin: overruns the 32 KB L1 and 256 KB L2 but sits
+		// in the 8 MB L3, so steady-state accesses are L3 hits.
+		const lines = (1 << 20) / 64
+		now := clock.Time(0)
+		for i := 0; i < lines; i++ {
+			now = h.Access(CPU, uint64(i)*64, false, now)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now = h.Access(CPU, uint64(i%lines)*64, false, now)
+		}
+	})
+	b.Run("dram", func(b *testing.B) {
+		h := MustNew(TableII())
+		now := clock.Time(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Ever-increasing line addresses: cold at every level.
+			now = h.Access(CPU, uint64(i)*64, false, now)
+		}
+	})
+}

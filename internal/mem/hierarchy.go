@@ -13,6 +13,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"heteromem/internal/cache"
 	"heteromem/internal/clock"
@@ -194,6 +195,10 @@ type Stats struct {
 	// CoherenceOps counts accesses that required remote invalidations or
 	// forced writebacks under CoherenceDirectory.
 	CoherenceOps uint64
+	// ScratchOverflows counts software-cache placements that exceeded
+	// the scratchpad's capacity and forced a full refresh — a workload
+	// placement bug the report should surface, not swallow.
+	ScratchOverflows uint64
 }
 
 // Hierarchy is the assembled memory system: the cache/ring/DRAM
@@ -216,24 +221,62 @@ type Hierarchy struct {
 	topo    memsys.Topology
 	env     memsys.Env
 	private [NumPUs]*memsys.PrivateStage
+	coh     *memsys.CoherenceStage
 	l3Stage *memsys.L3Stage
-	pipe    [NumPUs]*memsys.Pipeline
+	chain   [NumPUs]memsys.Chain
 	// req is the reusable transaction: accesses are sequential per
 	// hierarchy (one simulator, one goroutine), so a single request
-	// keeps the pipeline allocation-free.
+	// keeps the miss path allocation-free.
 	req memsys.Request
+
+	// Fast-path state. l1/l1Lat mirror the private stages' first level
+	// so an L1 hit is served without touching the stage chain; memo is
+	// the per-PU direct-mapped filter of recently-hit lines; gen is the
+	// hierarchy-wide generation that invalidates it, bumped on every
+	// state-mutating event (miss, push, flush, coherence invalidation).
+	l1        [NumPUs]*cache.Cache
+	l1Lat     [NumPUs]clock.Duration
+	lineShift uint
+	memo      [NumPUs]lineMemo
+	gen       uint64
 
 	stats Stats // access/push counts; event counts live in env
 	obs   hierObs
 }
 
+// memoSlots is the number of direct-mapped entries in each PU's line
+// memo; a power of two so the slot index is a mask.
+const memoSlots = 256
+
+// memoSlot remembers that its line was resident in the PU's L1 at way
+// `way` while the hierarchy generation was `gen`. A slot whose
+// generation is stale is dead; a live slot's way is still verified
+// against the cache tag on use (cache.HitWay), so even a logically
+// stale slot can never corrupt timing — at worst it degenerates into
+// the ordinary L1 probe.
+type memoSlot struct {
+	line uint64
+	gen  uint64
+	way  int32
+}
+
+// lineMemo is a per-PU direct-mapped filter of recently-hit lines — a
+// way predictor for the simulated L1 that lets repeated same-line hits
+// in core replay skip even the L1 set scan.
+type lineMemo struct {
+	slots [memoSlots]memoSlot
+}
+
 // hierObs holds the hierarchy-owned observability instruments under the
 // mem.* namespace; the per-stage instruments live in env.Obs. Nil
-// instruments make every bump a no-op.
+// instruments make every bump a no-op. Counters advance in batches
+// (FlushObs) by the delta of stats over flushed.
 type hierObs struct {
-	accesses  [NumPUs]*obs.Counter
-	pushes    *obs.Counter
-	pushBytes *obs.Counter
+	accesses         [NumPUs]*obs.Counter
+	pushes           *obs.Counter
+	pushBytes        *obs.Counter
+	scratchOverflows *obs.Counter
+	flushed          Stats
 }
 
 // Instrument registers the hierarchy's metrics (mem.*) with reg and
@@ -253,6 +296,9 @@ func (h *Hierarchy) Instrument(reg *obs.Registry) {
 	h.env.Obs.CoherenceOps = reg.Counter("mem.coherence.ops")
 	h.obs.pushes = reg.Counter("mem.pushes")
 	h.obs.pushBytes = reg.Counter("mem.push_bytes")
+	h.obs.scratchOverflows = reg.Counter("mem.scratch_overflows")
+	h.obs.flushed = h.stats
+	h.env.MarkFlushed()
 
 	h.cpuL1d.Instrument(reg, "mem."+h.cfg.CPUL1D.Name)
 	h.cpuL2.Instrument(reg, "mem."+h.cfg.CPUL2.Name)
@@ -304,6 +350,7 @@ func New(cfg Config) (*Hierarchy, error) {
 			return nil, err
 		}
 	}
+	h.gen = 1 // zero-valued memo slots must never match
 	h.buildPipelines()
 	return h, nil
 }
@@ -331,7 +378,9 @@ func (h *Hierarchy) buildPipelines() {
 			{h.gpuL1d},
 		},
 		Env: &h.env,
+		Gen: &h.gen,
 	}
+	h.coh = coh
 	h.private[CPU] = &memsys.PrivateStage{
 		PU: memsys.CPU, L1: h.cpuL1d, L1Lat: cfg.CPUL1DLat,
 		L2: h.cpuL2, L2Lat: cfg.CPUL2Lat, Coherence: coh, Env: &h.env,
@@ -348,16 +397,21 @@ func (h *Hierarchy) buildPipelines() {
 		Ctrl: h.dram, Net: h.ring, Topo: h.topo, L3: h.l3Stage, Env: &h.env,
 	}
 	for p := PU(0); p < NumPUs; p++ {
-		h.pipe[p] = memsys.NewPipeline(
-			h.private[p],
-			&memsys.MSHRStage{File: h.mshr[p]},
-			&memsys.RingHopStage{Stage: memsys.StageRingReq, Net: h.ring, Topo: h.topo},
-			h.l3Stage,
-			dramStage,
-			&memsys.RingHopStage{Stage: memsys.StageRingResp, Net: h.ring, Topo: h.topo},
-			&memsys.CommitStage{Private: h.private[p], File: h.mshr[p], Env: &h.env},
-		)
+		h.chain[p] = memsys.Chain{
+			Private: h.private[p],
+			MSHR:    &memsys.MSHRStage{File: h.mshr[p]},
+			ReqHop:  &memsys.RingHopStage{Stage: memsys.StageRingReq, Net: h.ring, Topo: h.topo},
+			L3:      h.l3Stage,
+			DRAM:    dramStage,
+			RespHop: &memsys.RingHopStage{Stage: memsys.StageRingResp, Net: h.ring, Topo: h.topo},
+			Commit:  &memsys.CommitStage{Private: h.private[p], File: h.mshr[p], Env: &h.env},
+		}
 	}
+
+	// Fast-path mirrors of the private stages' first level.
+	h.l1[CPU], h.l1Lat[CPU] = h.cpuL1d, cfg.CPUL1DLat
+	h.l1[GPU], h.l1Lat[GPU] = h.gpuL1d, cfg.GPUL1DLat
+	h.lineShift = uint(bits.TrailingZeros64(uint64(cfg.L3Tile.LineBytes)))
 }
 
 // MustNew is New but panics on configuration error.
@@ -406,6 +460,34 @@ func (h *Hierarchy) Reset() {
 	}
 	h.env.Reset()
 	h.stats = Stats{}
+	h.obs.flushed = Stats{}
+	for p := range h.memo {
+		h.memo[p] = lineMemo{}
+	}
+	h.gen = 1
+}
+
+// FlushObs pushes the counters accumulated since the last flush into the
+// registered instruments: the hierarchy's own access/push counters, the
+// stage counters in env, and each cache's hit/miss/eviction counts. The
+// simulator calls it at phase boundaries (immediately before interval
+// samples), so hot-path events cost a plain integer increment instead of
+// an instrument call.
+func (h *Hierarchy) FlushObs() {
+	for p := PU(0); p < NumPUs; p++ {
+		h.obs.accesses[p].Add(h.stats.Accesses[p] - h.obs.flushed.Accesses[p])
+	}
+	h.obs.pushes.Add(h.stats.Pushes - h.obs.flushed.Pushes)
+	h.obs.pushBytes.Add(h.stats.PushBytes - h.obs.flushed.PushBytes)
+	h.obs.scratchOverflows.Add(h.stats.ScratchOverflows - h.obs.flushed.ScratchOverflows)
+	h.obs.flushed = h.stats
+	h.env.FlushObs()
+	h.cpuL1d.FlushObs()
+	h.cpuL2.FlushObs()
+	h.gpuL1d.FlushObs()
+	for _, t := range h.l3 {
+		t.FlushObs()
+	}
 }
 
 // Scratchpad returns the GPU's software-managed cache.
@@ -423,14 +505,43 @@ func (h *Hierarchy) Directory() *coherence.Directory { return h.dir }
 
 // Access times a single load or store by pu to addr, starting at now, and
 // returns its completion time. Write-allocate, write-back at every level.
+//
+// An access that hits the PU's first-level cache is served on a fast
+// path — memo probe, then direct L1 lookup — without constructing a
+// request or entering the stage chain; only a first-level miss pays for
+// the full pipeline. Both fast-path arms charge the same L1 latency and
+// perform the same cache mutations as PrivateStage, so timing and
+// statistics are identical to the staged path.
 func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock.Time {
 	if pu >= NumPUs {
 		panic(fmt.Sprintf("mem: access from unknown PU %d", pu))
 	}
 	h.stats.Accesses[pu]++
-	h.obs.accesses[pu].Inc()
-	h.req.Start(memsys.PU(pu), addr, h.topo.Line(addr), write, now)
-	return h.pipe[pu].Run(&h.req)
+	line := h.topo.Line(addr)
+	slot := &h.memo[pu].slots[(line>>h.lineShift)&(memoSlots-1)]
+	if slot.gen == h.gen && slot.line == line && h.l1[pu].HitWay(addr, int(slot.way), write) {
+		h.env.L1Hits[pu]++
+		end := now.Add(h.l1Lat[pu])
+		if write {
+			end = h.coh.Apply(memsys.PU(pu), addr, line, write, end)
+			slot.gen = h.gen // re-key after a possible coherence bump
+		}
+		return end
+	}
+	if way := h.l1[pu].LookupWay(addr, write); way >= 0 {
+		h.env.L1Hits[pu]++
+		end := now.Add(h.l1Lat[pu])
+		if write {
+			end = h.coh.Apply(memsys.PU(pu), addr, line, write, end)
+		}
+		*slot = memoSlot{line: line, gen: h.gen, way: int32(way)}
+		return end
+	}
+	// Miss: the fill and any evictions below mutate cache state, so every
+	// memoized way is suspect.
+	h.gen++
+	h.req.Start(memsys.PU(pu), addr, line, write, now.Add(h.l1Lat[pu]))
+	return h.chain[pu].RunMissedL1(&h.req)
 }
 
 // Push explicitly places the size-byte object at addr into the target
@@ -441,8 +552,8 @@ func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock
 func (h *Hierarchy) Push(pu PU, addr uint64, size uint32, level Level, now clock.Time) clock.Time {
 	h.stats.Pushes++
 	h.stats.PushBytes += uint64(size)
-	h.obs.pushes.Inc()
-	h.obs.pushBytes.Add(uint64(size))
+	// Explicit placement mutates cache state underneath the memo.
+	h.gen++
 	if size == 0 {
 		return now
 	}
@@ -452,8 +563,10 @@ func (h *Hierarchy) Push(pu PU, addr uint64, size uint32, level Level, now clock
 		// Software-managed cache: one DMA-style burst from the shared
 		// hierarchy into the scratchpad.
 		if err := h.scratch.Place(addr, uint64(size)); err != nil {
-			// Capacity exceeded is a program (trace) error; treat as a
+			// Capacity exceeded is a program (trace) error; count it so
+			// reports surface the placement bug, then treat it as a
 			// refresh of the whole scratchpad.
+			h.stats.ScratchOverflows++
 			h.scratch.Clear()
 			_ = h.scratch.Place(addr, uint64(size))
 		}
@@ -490,6 +603,7 @@ func (h *Hierarchy) Push(pu PU, addr uint64, size uint32, level Level, now clock
 // ownership-transfer points) and returns the number of dirty lines
 // written back.
 func (h *Hierarchy) FlushPrivate(pu PU) int {
+	h.gen++ // flushed lines must drop out of the memo
 	if pu == CPU {
 		return h.cpuL1d.FlushAll() + h.cpuL2.FlushAll()
 	}

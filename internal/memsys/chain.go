@@ -1,0 +1,69 @@
+package memsys
+
+import (
+	"heteromem/internal/clock"
+)
+
+// Chain is the devirtualized form of the built-in pipeline: the same
+// stages in the same order as mem.Hierarchy's Pipeline composition, but
+// held as concrete types and invoked directly, so the per-access
+// interface dispatch of Pipeline.Run disappears from the hot path. The
+// Stage interface and Pipeline remain the extension surface for tests
+// and alternative hierarchies; Chain is the monomorphic production
+// path.
+//
+// Stamping matches Pipeline.Run exactly: every executed stage records
+// its completion time, and a Done verdict skips the rest.
+type Chain struct {
+	Private *PrivateStage
+	MSHR    *MSHRStage
+	ReqHop  *RingHopStage
+	L3      *L3Stage
+	DRAM    *DRAMStage
+	RespHop *RingHopStage
+	Commit  *CommitStage
+}
+
+// Run processes r through the full chain; it is equivalent to
+// Pipeline.Run over the same stages.
+func (c *Chain) Run(r *Request) clock.Time {
+	v := c.Private.Process(r)
+	r.Stamp[StagePrivate] = r.Now
+	if v == Done {
+		return r.Now
+	}
+	return c.runShared(r)
+}
+
+// RunMissedL1 continues a request whose first-level lookup was already
+// performed (and missed) by the caller — the hierarchy's L1-hit fast
+// path. r.Now must already include the L1 latency.
+func (c *Chain) RunMissedL1(r *Request) clock.Time {
+	v := c.Private.ProcessMissedL1(r)
+	r.Stamp[StagePrivate] = r.Now
+	if v == Done {
+		return r.Now
+	}
+	return c.runShared(r)
+}
+
+// runShared is the shared-path tail: MSHR merge, ring hop out, L3 (with
+// coherence), DRAM, ring hop back, commit.
+func (c *Chain) runShared(r *Request) clock.Time {
+	v := c.MSHR.Process(r)
+	r.Stamp[StageMSHR] = r.Now
+	if v == Done {
+		return r.Now
+	}
+	c.ReqHop.Process(r)
+	r.Stamp[StageRingReq] = r.Now
+	c.L3.Process(r)
+	r.Stamp[StageL3] = r.Now
+	c.DRAM.Process(r)
+	r.Stamp[StageDRAM] = r.Now
+	c.RespHop.Process(r)
+	r.Stamp[StageRingResp] = r.Now
+	c.Commit.Process(r)
+	r.Stamp[StageCommit] = r.Now
+	return r.Now
+}

@@ -8,19 +8,29 @@ import (
 	"heteromem/internal/obs"
 )
 
-// Env is the state shared by every stage of one hierarchy: the event
-// counters the stages bump and the observability instruments behind
-// them. Stages hold a pointer to their hierarchy's Env, so re-wiring
-// the instruments (mem.Hierarchy.Instrument) reaches every stage.
-type Env struct {
+// Counts are the per-hierarchy event counters the stages bump on the
+// hot path: plain fields with no instrument indirection, mirrored into
+// the obs registry in batches (Env.FlushObs).
+type Counts struct {
 	L1Hits       [NumPUs]uint64
 	L2Hits       uint64 // CPU only
 	L3Hits       [NumPUs]uint64
 	DRAMFills    [NumPUs]uint64
 	Writebacks   uint64
 	CoherenceOps uint64
+}
+
+// Env is the state shared by every stage of one hierarchy: the event
+// counters the stages bump and the observability instruments behind
+// them. Stages hold a pointer to their hierarchy's Env, so re-wiring
+// the instruments (mem.Hierarchy.Instrument) reaches every stage.
+type Env struct {
+	Counts
 
 	Obs EnvObs
+	// flushed is the counter snapshot at the last FlushObs; instruments
+	// advance by the delta.
+	flushed Counts
 }
 
 // EnvObs bundles the optional observability instruments. Nil counters
@@ -36,16 +46,37 @@ type EnvObs struct {
 	MSHROut      [NumPUs]*obs.Gauge
 }
 
-// Reset zeroes the event counters (the instruments are left wired).
+// Reset zeroes the event counters and the flush baseline (the
+// instruments are left wired).
 func (e *Env) Reset() {
 	obsSaved := e.Obs
 	*e = Env{Obs: obsSaved}
 }
 
+// MarkFlushed aligns the flush baseline with the current counters so a
+// freshly attached registry observes only subsequent events, matching
+// per-event bumping semantics.
+func (e *Env) MarkFlushed() { e.flushed = e.Counts }
+
+// FlushObs pushes counter growth since the previous flush into the
+// registered instruments. The hierarchy calls it at phase boundaries,
+// so registry totals and interval samples match per-event bumping
+// exactly while the access hot path stays instrument-free.
+func (e *Env) FlushObs() {
+	for p := PU(0); p < NumPUs; p++ {
+		e.Obs.L1Hits[p].Add(e.L1Hits[p] - e.flushed.L1Hits[p])
+		e.Obs.L3Hits[p].Add(e.L3Hits[p] - e.flushed.L3Hits[p])
+		e.Obs.DRAMFills[p].Add(e.DRAMFills[p] - e.flushed.DRAMFills[p])
+	}
+	e.Obs.L2Hits.Add(e.L2Hits - e.flushed.L2Hits)
+	e.Obs.Writebacks.Add(e.Writebacks - e.flushed.Writebacks)
+	e.Obs.CoherenceOps.Add(e.CoherenceOps - e.flushed.CoherenceOps)
+	e.flushed = e.Counts
+}
+
 // writeback counts one dirty-line writeback.
 func (e *Env) writeback() {
 	e.Writebacks++
-	e.Obs.Writebacks.Inc()
 }
 
 // PrivateStage is a PU's private cache level(s): the first-level data
@@ -72,12 +103,19 @@ func (s *PrivateStage) Process(r *Request) Verdict {
 	if s.L1.Lookup(r.Addr, r.Write) {
 		r.Flags |= FlagL1Hit
 		s.Env.L1Hits[s.PU]++
-		s.Env.Obs.L1Hits[s.PU].Inc()
 		if r.Write {
 			s.Coherence.Process(r)
 		}
 		return Done
 	}
+	return s.ProcessMissedL1(r)
+}
+
+// ProcessMissedL1 continues a request whose first-level lookup already
+// missed (the hierarchy's fast path performs that lookup itself): the
+// CPU consults its private L2; PUs without a second level pass the
+// request on. r.Now must already include the L1 latency.
+func (s *PrivateStage) ProcessMissedL1(r *Request) Verdict {
 	if s.L2 == nil {
 		return Next
 	}
@@ -85,7 +123,6 @@ func (s *PrivateStage) Process(r *Request) Verdict {
 	if s.L2.Lookup(r.Addr, r.Write) {
 		r.Flags |= FlagL2Hit
 		s.Env.L2Hits++
-		s.Env.Obs.L2Hits.Inc()
 		s.fillInto(s.L1, r.Addr, r.Write)
 		return Done
 	}
@@ -204,7 +241,6 @@ func (s *L3Stage) Process(r *Request) Verdict {
 	if s.Tiles[s.Topo.TileFor(r.Addr)].Lookup(r.Addr, r.Write) {
 		r.Flags |= FlagL3Hit
 		s.Env.L3Hits[r.PU]++
-		s.Env.Obs.L3Hits[r.PU].Inc()
 	}
 	return Next
 }
@@ -244,7 +280,6 @@ func (s *DRAMStage) Process(r *Request) Verdict {
 	r.Now = s.Net.Send(ts, s.Topo.MCStop, s.Topo.ReqBytes, r.Now)
 	r.Now = s.Ctrl.Submit(r.Addr, r.Now)
 	s.Env.DRAMFills[r.PU]++
-	s.Env.Obs.DRAMFills[r.PU].Inc()
 	r.Now = s.Net.Send(s.Topo.MCStop, ts, s.Topo.LineBytes+s.Topo.ReqBytes, r.Now)
 	s.L3.Fill(tile, r.Addr, false, r.Write, r.Now)
 	return Next
@@ -291,6 +326,10 @@ type CoherenceStage struct {
 	// directory recalls that PU's copy.
 	Caches [NumPUs][]*cache.Cache
 	Env    *Env
+	// Gen, when non-nil, is incremented whenever the stage invalidates
+	// a remote copy, so line memoizations keyed on the generation
+	// (mem.Hierarchy's fast-path filter) observe the mutation.
+	Gen *uint64
 }
 
 // ID implements Stage.
@@ -312,28 +351,48 @@ func (s *CoherenceStage) Process(r *Request) Verdict {
 	if s == nil || s.Dir == nil {
 		return Next
 	}
-	act := s.Dir.Access(int(r.PU), r.Addr, r.Write)
+	if now, did := s.apply(r.PU, r.Addr, r.Line, r.Write, r.Now); did {
+		r.Now = now
+		r.Stamp[StageCoherence] = now
+	}
+	return Next
+}
+
+// Apply is the request-free core of the stage, invoked directly by the
+// hierarchy's L1-hit fast path: it consults the directory for an
+// access by pu and prices any remote invalidation, returning the
+// (possibly advanced) completion time. Free when coherence is off.
+func (s *CoherenceStage) Apply(pu PU, addr, line uint64, write bool, now clock.Time) clock.Time {
+	if s == nil || s.Dir == nil {
+		return now
+	}
+	t, _ := s.apply(pu, addr, line, write, now)
+	return t
+}
+
+func (s *CoherenceStage) apply(pu PU, addr, line uint64, write bool, now clock.Time) (clock.Time, bool) {
+	act := s.Dir.Access(int(pu), addr, write)
 	if act.Messages == 0 {
-		return Next
+		return now, false
 	}
 	s.Env.CoherenceOps++
-	s.Env.Obs.CoherenceOps.Inc()
+	if s.Gen != nil {
+		*s.Gen++
+	}
 	other := CPU
-	if r.PU == CPU {
+	if pu == CPU {
 		other = GPU
 	}
 	for _, c := range s.Caches[other] {
-		c.Invalidate(r.Line)
+		c.Invalidate(line)
 	}
 	// One round trip from the home tile to the remote PU: the
 	// invalidate/forward out, the ack (plus data for a writeback) back.
-	ts := s.Topo.TileStop(s.Topo.TileFor(r.Addr))
-	t := s.Net.Send(ts, s.Topo.PUStop[other], s.Topo.ReqBytes, r.Now)
+	ts := s.Topo.TileStop(s.Topo.TileFor(addr))
+	t := s.Net.Send(ts, s.Topo.PUStop[other], s.Topo.ReqBytes, now)
 	resp := s.Topo.ReqBytes
 	if act.Writeback {
 		resp += s.Topo.LineBytes
 	}
-	r.Now = s.Net.Send(s.Topo.PUStop[other], ts, resp, t)
-	r.Stamp[StageCoherence] = r.Now
-	return Next
+	return s.Net.Send(s.Topo.PUStop[other], ts, resp, t), true
 }

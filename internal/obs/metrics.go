@@ -156,6 +156,48 @@ func (h *Histogram) Name() string {
 	return h.name
 }
 
+// HistAccum is a plain histogram accumulator for hot-path batching:
+// replay code observes into a HistAccum held in an ordinary struct (no
+// registry indirection) and folds the accumulated buckets into a
+// registered Histogram at phase boundaries with Histogram.Merge. The
+// zero value is ready to use.
+type HistAccum struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     uint64
+}
+
+// Observe records v.
+func (a *HistAccum) Observe(v uint64) {
+	a.buckets[bits.Len64(v)]++
+	a.count++
+	a.sum += v
+}
+
+// Count returns the number of accumulated observations.
+func (a *HistAccum) Count() uint64 { return a.count }
+
+// Sum returns the total of the accumulated observations.
+func (a *HistAccum) Sum() uint64 { return a.sum }
+
+// Reset clears the accumulator.
+func (a *HistAccum) Reset() { *a = HistAccum{} }
+
+// Merge folds an accumulator's observations into the histogram and
+// resets the accumulator, so repeated flushes never double-count. On a
+// nil histogram the observations are discarded (the accumulator is
+// still cleared).
+func (h *Histogram) Merge(a *HistAccum) {
+	if h != nil {
+		for i, n := range a.buckets {
+			h.buckets[i] += n
+		}
+		h.count += a.count
+		h.sum += a.sum
+	}
+	a.Reset()
+}
+
 // Bucket is one non-empty histogram bucket: Count observations fell in
 // [Lo, Hi).
 type Bucket struct {

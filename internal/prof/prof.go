@@ -1,0 +1,58 @@
+// Package prof provides the standard -cpuprofile/-memprofile flags for
+// the command-line tools. Importing it registers the flags on the
+// default flag set; Start (called after flag.Parse) begins CPU
+// profiling and returns the stop function main defers.
+package prof
+
+import (
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+)
+
+// Start begins CPU profiling when -cpuprofile was given. Call it after
+// flag.Parse and defer the returned stop function: it finishes the CPU
+// profile and, when -memprofile was given, writes a heap profile after
+// a final garbage collection (so the profile shows live data, not
+// garbage awaiting collection).
+func Start() func() {
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

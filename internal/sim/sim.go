@@ -280,6 +280,18 @@ func (s *Simulator) Reset() {
 	s.metrics.Reset()
 }
 
+// flushObs drains the batched hot-path counters into the registry so
+// interval samples and registry reads observe them. Core counters flush
+// when each Execution ends (and mid-phase in the co-simulation loop);
+// this covers the hierarchy and its components. A no-op when the run is
+// uninstrumented.
+func (s *Simulator) flushObs() {
+	if s.metrics == nil {
+		return
+	}
+	s.hier.FlushObs()
+}
+
 // Hierarchy exposes the memory system for inspection.
 func (s *Simulator) Hierarchy() *mem.Hierarchy { return s.hier }
 
@@ -327,6 +339,7 @@ func (s *Simulator) Run(p *workload.Program) (Result, error) {
 	s.env.res = &res
 	now := clock.Time(0)
 	now = s.applyLocality(p, now, &res)
+	s.flushObs()
 	s.sampler.Advance(uint64(now))
 	for i := range p.Phases {
 		ph := &p.Phases[i]
@@ -347,11 +360,13 @@ func (s *Simulator) Run(p *workload.Program) (Result, error) {
 		}
 		s.tracer.Span(obs.TrackSim, fmt.Sprintf("phase%d.%s", i, ph.Kind), "phase",
 			uint64(phaseStart), uint64(now), nil)
+		s.flushObs()
 		s.sampler.Advance(uint64(now))
 	}
 	// Program end is a synchronisation point: outstanding asynchronous
 	// copies must land before the program completes.
 	now = s.proto.SyncPoint(&s.env, now)
+	s.flushObs()
 	s.sampler.Finish(uint64(now))
 	res.Mem = s.hier.Stats()
 	res.Fabric = s.fabric.Stats()
@@ -436,6 +451,11 @@ func (s *Simulator) runParallel(ph *workload.Phase, now clock.Time, res *Result)
 			ce.StepUntil(ge.Now())
 		}
 		if s.sampler != nil {
+			// Drain the batched counters so the epoch deltas match
+			// per-event bumping exactly.
+			ce.FlushObs()
+			ge.FlushObs()
+			s.flushObs()
 			lo := ge.Now()
 			if ce.Now() < lo {
 				lo = ce.Now()

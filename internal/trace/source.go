@@ -26,6 +26,35 @@ type Source interface {
 	Len() int
 }
 
+// BatchSource is an optional extension of Source for bulk delivery:
+// NextBatch fills dst from the cursor position and returns how many
+// instructions were written (zero once exhausted). The delivered
+// sequence is identical to repeated Next calls; batching only removes
+// the per-instruction call from replay loops. Use FillBatch to consume
+// any Source through this interface.
+type BatchSource interface {
+	Source
+	NextBatch(dst []Inst) int
+}
+
+// FillBatch fills dst from src, using bulk delivery when src supports
+// it and falling back to Next otherwise. Returns the number written.
+func FillBatch(src Source, dst []Inst) int {
+	if b, ok := src.(BatchSource); ok {
+		return b.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		dst[n] = in
+		n++
+	}
+	return n
+}
+
 // Cursor adapts an in-memory Stream to the Source interface.
 type Cursor struct {
 	s Stream
@@ -51,6 +80,13 @@ func (c *Cursor) Next() (Inst, bool) {
 	in := c.s[c.i]
 	c.i++
 	return in, true
+}
+
+// NextBatch copies up to len(dst) instructions from the cursor position.
+func (c *Cursor) NextBatch(dst []Inst) int {
+	n := copy(dst, c.s[c.i:])
+	c.i += n
+	return n
 }
 
 // Reset rewinds to the first instruction.

@@ -129,6 +129,33 @@ func (s *bodySource) Next() (trace.Inst, bool) {
 	return in, true
 }
 
+// NextBatch copies up to len(dst) instructions into dst, regenerating
+// loop iterations as the internal buffer drains. The delivered sequence
+// is exactly Next's; the bulk form exists so replay loops avoid an
+// interface call per instruction.
+func (s *bodySource) NextBatch(dst []trace.Inst) int {
+	if rem := s.p.n - s.pos; len(dst) > rem {
+		dst = dst[:rem]
+	}
+	n := 0
+	for n < len(dst) {
+		if s.bi >= len(s.g.out) {
+			s.g.out = s.g.out[:0]
+			s.bi = 0
+			s.p.body(&s.g)
+			s.g.iter++
+			if len(s.g.out) == 0 {
+				panic("workload: loop body emitted nothing")
+			}
+		}
+		c := copy(dst[n:], s.g.out[s.bi:])
+		s.bi += c
+		n += c
+	}
+	s.pos += n
+	return n
+}
+
 // --- CPU loop bodies ---
 
 // streamAddCPU: the reduction inner loop — load, accumulate, advance,
