@@ -12,7 +12,10 @@
 // exceeds the old by more than the threshold (default 10%); movement
 // below the old value by more than the threshold is reported as an
 // improvement. Entries present in only one report are listed but never
-// fail the run, so adding or renaming benchmarks does not break CI.
+// fail the run, so adding or renaming benchmarks does not break CI. A
+// missing baseline (-old unset or naming a file that does not exist)
+// prints a note and exits 0 — the first run of a branch has nothing to
+// compare against.
 // With -md, a markdown summary table is appended to the given file
 // (pass $GITHUB_STEP_SUMMARY to surface it on the workflow run page).
 package main
@@ -74,8 +77,19 @@ func main() {
 		mdPath    = flag.String("md", "", "append a markdown summary table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		log.Fatal("both -old and -new are required")
+	if *newPath == "" {
+		log.Fatal("-new is required")
+	}
+	// A missing baseline is the normal first run of a fresh branch or a
+	// new CI cache: there is nothing to compare against, which is not a
+	// failure.
+	if *oldPath == "" {
+		fmt.Println("benchcmp: no previous artifact to compare against (-old not set); skipping comparison")
+		return
+	}
+	if _, err := os.Stat(*oldPath); os.IsNotExist(err) {
+		fmt.Printf("benchcmp: no previous artifact to compare against (%s does not exist); skipping comparison\n", *oldPath)
+		return
 	}
 
 	oldE, err := load(*oldPath)

@@ -7,14 +7,21 @@
 //	hetsweep -figure 5 -quick  # small kernels only
 //	hetsweep -all              # everything
 //	hetsweep -grid g.json      # sweep a declarative design-space grid
+//
+// A sweep can be observed while it runs: -serve starts the live
+// introspection server (/progress, /metrics, pprof) and -out writes a
+// run-artifact directory (manifest.json, run ledger, aggregate metrics,
+// per-cell interval CSVs, Perfetto worker trace).
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"heteromem/internal/guideline"
 	"heteromem/internal/harness"
@@ -31,6 +38,7 @@ func main() {
 		figure      = flag.Int("figure", 0, "regenerate figure N (5-7)")
 		all         = flag.Bool("all", false, "regenerate every table and figure")
 		quick       = flag.Bool("quick", false, "use the small kernels only (faster)")
+		kernelsFlag = flag.String("kernels", "", "comma-separated kernel list, overriding -quick and the grid's kernels")
 		sensitivity = flag.String("sensitivity", "", "transfer-volume sensitivity sweep for the named kernel")
 		guide       = flag.Bool("guideline", false, "score the address-space models and recommend one (Section VII future work)")
 		gridPath    = flag.String("grid", "", "sweep the design-space grid described by this JSON file (see examples/systems/grid.json)")
@@ -38,14 +46,32 @@ func main() {
 		energyOut   = flag.Bool("energy", false, "print the energy breakdown for the case-study sweep")
 		jsonOut     = flag.Bool("json", false, "emit the case-study sweep (full results) as JSON to stdout")
 		par         = flag.Int("par", 0, "sweep worker count (0 = GOMAXPROCS)")
+
+		serveAddr      = flag.String("serve", "", "serve live sweep introspection (/progress, /metrics, pprof) on this address while running")
+		outDir         = flag.String("out", "", "write the run-artifact directory (manifest.json, ledger.jsonl, metrics.json, trace.json, results.csv, intervals/)")
+		intervalCycles = flag.Uint64("interval-cycles", 100_000, "per-cell interval-CSV epoch length in CPU cycles under -out (0 = no interval CSVs)")
+		hostprofEvery  = flag.Int("hostprof", 32, "host-time self-profiling: time one in every N memory-pipeline runs when observed (0 = off)")
 	)
 	flag.Parse()
 	defer prof.Start()()
-	exec := harness.Executor{Par: *par}
+
+	obsRun, err := setupObservability(observeConfig{
+		OutDir: *outDir, ServeAddr: *serveAddr,
+		IntervalCycles: *intervalCycles, HostProfEvery: *hostprofEvery,
+		Par: *par,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsRun.close()
+	exec := harness.Executor{Par: *par, Obs: obsRun.observer()}
 
 	kernels := harness.DefaultKernels()
 	if *quick {
 		kernels = harness.QuickKernels()
+	}
+	if *kernelsFlag != "" {
+		kernels = splitKernels(*kernelsFlag)
 	}
 
 	if *sensitivity != "" {
@@ -61,7 +87,11 @@ func main() {
 		return
 	}
 	if *gridPath != "" {
-		runGrid(exec, *gridPath, *csvPath, *jsonOut)
+		var override []string
+		if *kernelsFlag != "" {
+			override = kernels
+		}
+		runGrid(exec, obsRun, *gridPath, override, *csvPath, *jsonOut)
 		return
 	}
 	if !*all && *table == 0 && *figure == 0 && !*energyOut && *csvPath == "" && !*jsonOut {
@@ -93,6 +123,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			obsRun.setSweep(sweepInfo{
+				systems: systems.CaseStudies(), kernels: kernels, cells: caseCells,
+			})
 		}
 		return caseCells
 	}
@@ -151,7 +184,12 @@ func main() {
 
 // runGrid sweeps every coherent point of a declarative design-space grid
 // (systems.LoadGridFile) and prints the Figure 5 breakdown per point.
-func runGrid(exec harness.Executor, path, csvPath string, jsonOut bool) {
+// kernelsOverride, when non-nil, replaces the grid's own kernel list.
+func runGrid(exec harness.Executor, obsRun *observedRun, path string, kernelsOverride []string, csvPath string, jsonOut bool) {
+	gridBytes, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
 	grid, err := systems.LoadGridFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -164,10 +202,18 @@ func runGrid(exec harness.Executor, path, csvPath string, jsonOut bool) {
 	if len(kernels) == 0 {
 		kernels = []string{"reduction"}
 	}
+	if kernelsOverride != nil {
+		kernels = kernelsOverride
+	}
 	cells, err := exec.RunSystems(points, kernels)
 	if err != nil {
 		log.Fatal(err)
 	}
+	obsRun.setSweep(sweepInfo{
+		systems: points, kernels: kernels, cells: cells,
+		gridPath: path, gridSHA: fmt.Sprintf("sha256:%x", sha256.Sum256(gridBytes)),
+		gridName: grid.Name,
+	})
 	title := grid.Name
 	if title == "" {
 		title = path
@@ -197,6 +243,21 @@ func runGrid(exec harness.Executor, path, csvPath string, jsonOut bool) {
 	if jsonOut {
 		writeJSON(cells)
 	}
+}
+
+// splitKernels parses the -kernels flag: comma-separated names, blanks
+// ignored.
+func splitKernels(s string) []string {
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		log.Fatalf("-kernels %q names no kernels", s)
+	}
+	return out
 }
 
 func writeJSON(cells []harness.Cell) {

@@ -99,6 +99,9 @@ var (
 	LoadSystemFile = systems.LoadFile
 	// SaveSystem serialises a system so LoadSystem round-trips it.
 	SaveSystem = systems.Save
+	// HashSystem returns the canonical "sha256:..." content hash of a
+	// design point (name-invariant); the run ledger's spec key.
+	HashSystem = systems.Hash
 	// LoadGridFile reads and parses a design-space grid description.
 	LoadGridFile = systems.LoadGridFile
 )

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"heteromem/internal/addrspace"
 	"heteromem/internal/clock"
@@ -19,6 +20,7 @@ import (
 	"heteromem/internal/energy"
 	"heteromem/internal/locality"
 	"heteromem/internal/mem"
+	"heteromem/internal/obs"
 	"heteromem/internal/report"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
@@ -61,6 +63,11 @@ func RunAddressSpaces(kernels []string) ([]Cell, error) {
 type Executor struct {
 	// Par is the number of workers; zero or negative means GOMAXPROCS.
 	Par int
+	// Obs, when non-nil, observes the sweep: run-ledger cell records,
+	// hierarchical spans, live progress, aggregated metrics, worker
+	// traces, per-cell interval sampling. Nil keeps the sweep fully
+	// uninstrumented.
+	Obs *Observer
 }
 
 // RunCaseStudies simulates the five Figure 5 systems over the named
@@ -103,48 +110,118 @@ func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell
 		workers = n
 	}
 
-	type job struct{ ki, si int }
+	obsv := e.Obs
+	specs := make([]string, len(sysList))
+	if obsv != nil {
+		for i, sys := range sysList {
+			specs[i] = systems.Hash(sys)
+		}
+	}
+
+	type job struct {
+		ki, si  int
+		enqueue time.Time
+	}
 	cells := make([]Cell, n)
 	errs := make([]error, n) // disjoint slots; no mutex needed
-	jobs := make(chan job)
+	// The queue is buffered to hold the whole sweep: the producer never
+	// blocks, so a job's enqueue instant is its true ready time and
+	// queue wait measures worker backlog, not producer pacing.
+	jobs := make(chan job, n)
+	obsv.begin(n, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// One pooled simulator per system, created on first use and
 			// Reset between this worker's cells.
 			sims := make([]*sim.Simulator, len(sysList))
+			if obsv == nil {
+				// Uninstrumented worker loop, kept separate from the
+				// observed one so an unobserved sweep (the benchmarks)
+				// executes exactly the pre-observability body.
+				for j := range jobs {
+					idx := j.ki*len(sysList) + j.si
+					p, sys := programs[j.ki], sysList[j.si]
+					s := sims[j.si]
+					if s == nil {
+						var err error
+						if s, err = sim.New(sys); err != nil {
+							errs[idx] = fmt.Errorf("%s on %s: %w", p.Name, sys.Name, err)
+							continue
+						}
+						sims[j.si] = s
+					} else {
+						s.Reset()
+					}
+					res, err := s.Run(p)
+					if err != nil {
+						errs[idx] = fmt.Errorf("%s on %s: %w", p.Name, sys.Name, err)
+						continue
+					}
+					cells[idx] = Cell{System: sys.Name, Kernel: p.Name, Result: res}
+				}
+				return
+			}
+			// Observability state is per worker: one registry (and
+			// optional host profiler / interval sampler) shared by the
+			// worker's pooled simulators, reset before every cell so each
+			// post-run snapshot covers exactly that cell.
+			reg := obs.NewRegistry()
+			var hp *obs.HostProf
+			var sampler *obs.Sampler
+			if obsv.HostProfEvery > 0 {
+				hp = obs.NewHostProf(obsv.HostProfEvery)
+			}
+			if obsv.IntervalPS > 0 {
+				sampler = obs.NewSampler(reg, obsv.IntervalPS)
+			}
 			for j := range jobs {
 				idx := j.ki*len(sysList) + j.si
 				p, sys := programs[j.ki], sysList[j.si]
+				span := obsv.beginCell(w, sys.Name, specs[j.si], p.Name)
+				started := time.Now()
 				s := sims[j.si]
 				if s == nil {
 					var err error
-					if s, err = sim.New(sys); err != nil {
+					s, err = sim.NewWithOptions(sys, sim.Options{
+						Metrics: reg, HostProf: hp, Sampler: sampler,
+					})
+					if err != nil {
 						errs[idx] = fmt.Errorf("%s on %s: %w", p.Name, sys.Name, err)
+						obsv.endCell(w, span, newCellRecord(sys.Name, specs[j.si], p.Name, sim.Result{}, err),
+							obs.Snapshot{}, j.enqueue, started)
 						continue
 					}
 					sims[j.si] = s
 				} else {
 					s.Reset()
 				}
+				reg.Reset()
+				sampler.Reset()
+				s.SetRunSpan(span)
 				res, err := s.Run(p)
+				s.SetRunSpan(nil)
+				obsv.endCell(w, span, newCellRecord(sys.Name, specs[j.si], p.Name, res, err),
+					reg.Snapshot(), j.enqueue, started)
+				obsv.writeIntervalCSV(sys.Name, p.Name, sampler)
 				if err != nil {
 					errs[idx] = fmt.Errorf("%s on %s: %w", p.Name, sys.Name, err)
 					continue
 				}
 				cells[idx] = Cell{System: sys.Name, Kernel: p.Name, Result: res}
 			}
-		}()
+		}(w)
 	}
 	for ki := range programs {
 		for si := range sysList {
-			jobs <- job{ki, si}
+			jobs <- job{ki, si, time.Now()}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	obsv.finish()
 
 	if err := errors.Join(errs...); err != nil {
 		return nil, err

@@ -1,0 +1,351 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"heteromem/internal/obs"
+	"heteromem/internal/sim"
+)
+
+// Observer wires a sweep into the observability layer: every cell the
+// Executor runs appends a structured record to the run ledger, opens a
+// hierarchical span (sweep → design point → kernel; the simulator hangs
+// its phase spans underneath), feeds a live progress view, and merges
+// the per-worker metric registries into one sweep-wide snapshot that the
+// introspection server can expose while the sweep is still running.
+//
+// The Observer itself is nil-safe from the Executor's side — a nil
+// *Observer disables all of it — and internally synchronised, so any
+// number of workers report cells while HTTP handlers read Progress() and
+// Metrics() concurrently.
+type Observer struct {
+	// Name labels the sweep's root span (defaults to "sweep").
+	Name string
+	// Ledger, when non-nil, receives one span line per sweep/point/kernel
+	// scope and one "cell" record per (system, kernel) measurement.
+	Ledger *obs.Ledger
+	// Trace, when non-nil, collects a host-time Perfetto trace with one
+	// track per worker and one slice per cell. Host nanoseconds are
+	// recorded at nanosecond precision (ns×1000 in the tracer's
+	// picosecond field), so a displayed microsecond is a real
+	// microsecond of wall time.
+	Trace *obs.Tracer
+	// HostProfEvery, when positive, attaches sampled host wall-clock
+	// self-profiling to every worker (1 = every pipeline run).
+	HostProfEvery int
+	// IntervalPS, when positive, samples each cell's registry at this
+	// simulated-time interval and writes one CSV per cell to IntervalDir.
+	IntervalPS  uint64
+	IntervalDir string
+
+	mu       sync.Mutex
+	sweep    *obs.Span
+	points   map[string]*obs.Span
+	agg      obs.Snapshot
+	total    int
+	done     int
+	failed   int
+	workers  []workerState
+	start    time.Time
+	err      error
+	finished bool
+}
+
+type workerState struct {
+	current string
+	done    int
+	busy    time.Duration
+}
+
+// CellRecord is the ledger line appended for every completed sweep cell.
+// Host times are wall-clock nanoseconds; simulated durations are
+// picoseconds, the simulator's native unit.
+type CellRecord struct {
+	T      string `json:"t"`
+	Span   uint64 `json:"span,omitempty"`
+	System string `json:"system"`
+	Spec   string `json:"spec,omitempty"`
+	Kernel string `json:"kernel"`
+	Worker int    `json:"worker"`
+
+	QueueWaitNS int64  `json:"queue_wait_ns"`
+	WallNS      int64  `json:"wall_ns"`
+	Err         string `json:"err,omitempty"`
+
+	SequentialPS    uint64  `json:"sequential_ps"`
+	ParallelPS      uint64  `json:"parallel_ps"`
+	CommunicationPS uint64  `json:"communication_ps"`
+	TotalPS         uint64  `json:"total_ps"`
+	CommShare       float64 `json:"comm_share"`
+	PageFaults      int     `json:"page_faults,omitempty"`
+	OwnershipOps    int     `json:"ownership_ops,omitempty"`
+}
+
+// WorkerProgress is one worker's live state within SweepProgress.
+type WorkerProgress struct {
+	ID      int     `json:"id"`
+	Current string  `json:"current,omitempty"`
+	Done    int     `json:"done"`
+	BusySec float64 `json:"busy_s"`
+	Util    float64 `json:"util"`
+}
+
+// SweepProgress is the live progress document served at /progress.
+type SweepProgress struct {
+	Total       int              `json:"total"`
+	Done        int              `json:"done"`
+	Failed      int              `json:"failed"`
+	ElapsedSec  float64          `json:"elapsed_s"`
+	ETASec      float64          `json:"eta_s"`
+	CellsPerSec float64          `json:"cells_per_sec"`
+	Workers     []WorkerProgress `json:"workers"`
+}
+
+// begin opens the sweep: records the start instant, sizes the worker
+// table, and writes the root span. Called once by RunSystems.
+func (o *Observer) begin(totalCells, workers int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.start = time.Now()
+	o.total = totalCells
+	o.done, o.failed = 0, 0
+	o.finished = false
+	o.workers = make([]workerState, workers)
+	o.points = make(map[string]*obs.Span)
+	o.agg = obs.Snapshot{Counters: map[string]uint64{}}
+	name := o.Name
+	if name == "" {
+		name = "sweep"
+	}
+	o.sweep = o.Ledger.Root("sweep", name)
+	for w := 0; w < workers; w++ {
+		o.Trace.SetTrack(w+1, fmt.Sprintf("worker %d", w))
+	}
+}
+
+// beginCell marks worker w busy on (system, kernel) and opens the cell's
+// kernel span beneath the system's (lazily created) point span. The
+// returned span parents the simulator's phase spans via SetRunSpan.
+func (o *Observer) beginCell(w int, system, spec, kernel string) *obs.Span {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.workers[w].current = system + "/" + kernel
+	point := o.points[system]
+	if point == nil {
+		point = o.sweep.Child("point", system)
+		o.points[system] = point
+	}
+	return point.Child("kernel", kernel)
+}
+
+// endCell completes a cell: merges the worker registry's snapshot into
+// the sweep aggregate, appends the ledger record, closes the cell span,
+// emits the worker-track trace slice, and updates progress counters.
+func (o *Observer) endCell(w int, span *obs.Span, rec CellRecord, snap obs.Snapshot, queued, started time.Time) {
+	if o == nil {
+		return
+	}
+	end := time.Now()
+	rec.T = "cell"
+	rec.Span = span.ID()
+	rec.Worker = w
+	rec.QueueWaitNS = started.Sub(queued).Nanoseconds()
+	rec.WallNS = end.Sub(started).Nanoseconds()
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.agg.Merge(snap)
+	o.done++
+	if rec.Err != "" {
+		o.failed++
+	}
+	ws := &o.workers[w]
+	ws.current = ""
+	ws.done++
+	ws.busy += end.Sub(started)
+	if err := o.Ledger.Append(rec); err != nil && o.err == nil {
+		o.err = err
+	}
+	attrs := map[string]any{"worker": w, "total_ps": rec.TotalPS}
+	if rec.Err != "" {
+		attrs["err"] = rec.Err
+	}
+	span.End(attrs)
+	o.Trace.Span(w+1, rec.System+"/"+rec.Kernel, "cell",
+		hostPS(o.start, started), hostPS(o.start, end),
+		map[string]any{"queue_wait_ns": rec.QueueWaitNS})
+}
+
+// finish closes the point and sweep spans. Called once after the worker
+// pool drains.
+func (o *Observer) finish() {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.finished = true
+	for _, p := range o.points {
+		p.End(nil)
+	}
+	o.sweep.End(map[string]any{"cells": o.done, "failed": o.failed})
+	if err := o.Ledger.Err(); err != nil && o.err == nil {
+		o.err = err
+	}
+}
+
+// hostPS maps a host instant onto the tracer's picosecond axis at
+// nanosecond precision, relative to the sweep start: ns since start
+// × 1000, so one displayed microsecond is one real microsecond.
+func hostPS(start, t time.Time) uint64 {
+	d := t.Sub(start)
+	if d < 0 {
+		return 0
+	}
+	return uint64(d.Nanoseconds()) * 1000
+}
+
+// Err reports the first ledger or interval-CSV write error the sweep
+// encountered. Observability failures never fail the sweep itself.
+func (o *Observer) Err() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// Progress returns the live progress document: cells done/total, ETA
+// from the observed cell rate, and per-worker state. Safe to call
+// concurrently with a running sweep.
+func (o *Observer) Progress() SweepProgress {
+	if o == nil {
+		return SweepProgress{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := time.Now()
+	elapsed := now.Sub(o.start)
+	p := SweepProgress{
+		Total:      o.total,
+		Done:       o.done,
+		Failed:     o.failed,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	if elapsed > 0 && o.done > 0 {
+		p.CellsPerSec = float64(o.done) / elapsed.Seconds()
+		p.ETASec = float64(o.total-o.done) / p.CellsPerSec
+	}
+	for i := range o.workers {
+		ws := o.workers[i]
+		wp := WorkerProgress{ID: i, Current: ws.current, Done: ws.done, BusySec: ws.busy.Seconds()}
+		if elapsed > 0 {
+			wp.Util = ws.busy.Seconds() / elapsed.Seconds()
+		}
+		p.Workers = append(p.Workers, wp)
+	}
+	return p
+}
+
+// Metrics returns the sweep-wide aggregate metric snapshot: the merge of
+// every completed cell's registry, plus sweep.* bookkeeping counters.
+// The returned snapshot is a private copy, safe to serialise while
+// workers keep merging.
+func (o *Observer) Metrics() obs.Snapshot {
+	out := obs.Snapshot{Counters: map[string]uint64{}}
+	if o == nil {
+		return out
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out.Merge(o.agg)
+	out.Counters["sweep.cells.total"] = uint64(o.total)
+	out.Counters["sweep.cells.done"] = uint64(o.done)
+	out.Counters["sweep.cells.failed"] = uint64(o.failed)
+	return out
+}
+
+// writeIntervalCSV persists one cell's interval time series under
+// IntervalDir as <kernel>__<system>.csv. Errors are recorded on the
+// Observer, not returned to the worker.
+func (o *Observer) writeIntervalCSV(system, kernel string, s *obs.Sampler) {
+	if o == nil || o.IntervalDir == "" || s == nil || len(s.Samples()) == 0 {
+		return
+	}
+	record := func(err error) {
+		o.mu.Lock()
+		if o.err == nil {
+			o.err = err
+		}
+		o.mu.Unlock()
+	}
+	if err := os.MkdirAll(o.IntervalDir, 0o755); err != nil {
+		record(err)
+		return
+	}
+	path := filepath.Join(o.IntervalDir, artifactName(kernel)+"__"+artifactName(system)+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		record(err)
+		return
+	}
+	if err := s.WriteCSV(f); err != nil {
+		f.Close()
+		record(err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		record(err)
+	}
+}
+
+// artifactName maps a free-form system or kernel name onto a portable
+// file-name fragment.
+func artifactName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		ok := r == '.' || r == '_' || r == '-' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "unnamed"
+	}
+	return b.String()
+}
+
+// newCellRecord fills the simulation-result half of a cell record.
+func newCellRecord(system, spec, kernel string, res sim.Result, runErr error) CellRecord {
+	rec := CellRecord{
+		System: system, Spec: spec, Kernel: kernel,
+	}
+	if runErr != nil {
+		rec.Err = runErr.Error()
+		return rec
+	}
+	rec.SequentialPS = uint64(res.Sequential)
+	rec.ParallelPS = uint64(res.Parallel)
+	rec.CommunicationPS = uint64(res.Communication)
+	rec.TotalPS = uint64(res.Total())
+	rec.CommShare = res.CommFraction()
+	rec.PageFaults = res.PageFaults
+	rec.OwnershipOps = res.OwnershipOps
+	return rec
+}

@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"heteromem/internal/obs"
+	"heteromem/internal/systems"
+)
+
+// ledgerLines decodes every JSONL line of a ledger buffer.
+func ledgerLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad ledger line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestObservedSweepLedger(t *testing.T) {
+	var buf bytes.Buffer
+	led := obs.NewLedger(&buf)
+	tracer := obs.NewTracer()
+	o := &Observer{Name: "test-sweep", Ledger: led, Trace: tracer, HostProfEvery: 4}
+	sysList := systems.CaseStudies()[:2]
+	kernels := QuickKernels()
+
+	cells, err := Executor{Par: 2, Obs: o}.RunSystems(sysList, kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(sysList) * len(kernels)
+	if len(cells) != n {
+		t.Fatalf("got %d cells, want %d", len(cells), n)
+	}
+
+	lines := ledgerLines(t, &buf)
+	var cellRecs, sweepSpans, pointSpans, kernelSpans, phaseSpans int
+	wantSpec := map[string]string{}
+	for _, s := range sysList {
+		wantSpec[s.Name] = systems.Hash(s)
+	}
+	seen := map[string]bool{}
+	for _, m := range lines {
+		switch m["t"] {
+		case "cell":
+			cellRecs++
+			sys, kernel := m["system"].(string), m["kernel"].(string)
+			key := sys + "/" + kernel
+			if seen[key] {
+				t.Errorf("duplicate cell record for %s", key)
+			}
+			seen[key] = true
+			if m["spec"] != wantSpec[sys] {
+				t.Errorf("cell %s: spec %v, want %s", key, m["spec"], wantSpec[sys])
+			}
+			if m["total_ps"] == nil || m["total_ps"].(float64) <= 0 {
+				t.Errorf("cell %s: missing total_ps", key)
+			}
+			if m["wall_ns"] == nil || m["wall_ns"].(float64) <= 0 {
+				t.Errorf("cell %s: missing wall_ns", key)
+			}
+			if _, ok := m["queue_wait_ns"]; !ok {
+				t.Errorf("cell %s: missing queue_wait_ns", key)
+			}
+			if m["span"] == nil {
+				t.Errorf("cell %s: not linked to a span", key)
+			}
+		case "span":
+			switch m["kind"] {
+			case "sweep":
+				sweepSpans++
+				if m["name"] != "test-sweep" {
+					t.Errorf("sweep span named %v", m["name"])
+				}
+			case "point":
+				pointSpans++
+			case "kernel":
+				kernelSpans++
+			case "phase":
+				phaseSpans++
+			}
+		}
+	}
+	if cellRecs != n {
+		t.Errorf("%d cell records, want %d", cellRecs, n)
+	}
+	if sweepSpans != 1 || pointSpans != len(sysList) || kernelSpans != n {
+		t.Errorf("spans sweep=%d point=%d kernel=%d, want 1/%d/%d",
+			sweepSpans, pointSpans, kernelSpans, len(sysList), n)
+	}
+	if phaseSpans == 0 {
+		t.Error("no phase spans: simulator run spans not wired")
+	}
+
+	prog := o.Progress()
+	if prog.Done != n || prog.Total != n || prog.Failed != 0 {
+		t.Errorf("progress %+v, want done=total=%d failed=0", prog, n)
+	}
+	if len(prog.Workers) != 2 {
+		t.Errorf("%d workers in progress, want 2", len(prog.Workers))
+	}
+
+	snap := o.Metrics()
+	if snap.Counters["sweep.cells.done"] != uint64(n) {
+		t.Errorf("sweep.cells.done = %d, want %d", snap.Counters["sweep.cells.done"], n)
+	}
+	var simCounters, hostCounters int
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "sweep.") {
+			continue
+		}
+		if strings.HasPrefix(name, "host.") {
+			hostCounters++
+		}
+		if v > 0 {
+			simCounters++
+		}
+	}
+	if simCounters == 0 {
+		t.Error("aggregate snapshot has no nonzero simulator counters")
+	}
+	if hostCounters == 0 {
+		t.Error("aggregate snapshot has no host.* self-profiling counters")
+	}
+
+	if tracer.Len() < n {
+		t.Errorf("tracer has %d events, want at least one per cell (%d)", tracer.Len(), n)
+	}
+}
+
+// The observed sweep must return exactly the same simulation results as
+// an unobserved one: observability reads time, never simulated state.
+func TestObservedSweepMatchesPlain(t *testing.T) {
+	sysList := systems.CaseStudies()[:2]
+	kernels := QuickKernels()
+	plain, err := Executor{Par: 2}.RunSystems(sysList, kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	o := &Observer{Ledger: obs.NewLedger(&buf), HostProfEvery: 1}
+	observed, err := Executor{Par: 2, Obs: o}.RunSystems(sysList, kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(observed) {
+		t.Fatalf("cell count mismatch %d vs %d", len(plain), len(observed))
+	}
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Errorf("cell %d diverged under observation:\n got %+v\nwant %+v", i, observed[i], plain[i])
+		}
+	}
+}
+
+func TestObservedSweepIntervalCSVs(t *testing.T) {
+	dir := t.TempDir()
+	o := &Observer{IntervalPS: 1_000_000_000, IntervalDir: dir} // 1ms epochs
+	sysList := systems.CaseStudies()[:1]
+	kernels := []string{"reduction"}
+	if _, err := (Executor{Par: 1, Obs: o}).RunSystems(sysList, kernels); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("got %d interval CSVs, want 1 (%v)", len(matches), matches)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(data, []byte("\n")); lines < 2 {
+		t.Errorf("interval CSV has %d lines, want header plus epochs", lines)
+	}
+}
+
+func TestNilObserverIsNoop(t *testing.T) {
+	var o *Observer
+	o.begin(1, 1)
+	span := o.beginCell(0, "s", "spec", "k")
+	o.endCell(0, span, CellRecord{}, obs.Snapshot{}, time.Time{}, time.Time{})
+	o.finish()
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if p := o.Progress(); p.Total != 0 {
+		t.Error("nil observer progress not zero")
+	}
+	if s := o.Metrics(); len(s.Counters) != 0 {
+		t.Error("nil observer metrics not empty")
+	}
+}

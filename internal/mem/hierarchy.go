@@ -310,6 +310,26 @@ func (h *Hierarchy) Instrument(reg *obs.Registry) {
 	h.dram.Instrument(reg)
 }
 
+// InstrumentHost attaches sampled host wall-clock attribution to the
+// per-PU stage chains: one in every p.Every() chain runs times each
+// stage it executes, accumulating into p's memsys.* sections (flushed to
+// the registry as host.memsys.*.ns counters by the simulator's batched
+// flush). Section registration is idempotent, so pooled simulators
+// sharing one profiler agree on ids. A nil profiler detaches profiling.
+func (h *Hierarchy) InstrumentHost(p *obs.HostProf) {
+	base := -1
+	for i, name := range memsys.ProfSections() {
+		id := p.Section(name)
+		if i == 0 {
+			base = id
+		}
+	}
+	for pu := range h.chain {
+		h.chain[pu].Prof = p
+		h.chain[pu].ProfBase = base
+	}
+}
+
 // New assembles a hierarchy from cfg.
 func New(cfg Config) (*Hierarchy, error) {
 	if err := cfg.validate(); err != nil {

@@ -1,7 +1,10 @@
 package memsys
 
 import (
+	"time"
+
 	"heteromem/internal/clock"
+	"heteromem/internal/obs"
 )
 
 // Chain is the devirtualized form of the built-in pipeline: the same
@@ -22,11 +25,45 @@ type Chain struct {
 	DRAM    *DRAMStage
 	RespHop *RingHopStage
 	Commit  *CommitStage
+
+	// Prof, when non-nil, attributes sampled HOST wall-clock time to the
+	// chain's stages: one in every Prof.Every() runs takes the timed path
+	// below, so a sweep can see which simulation stage burns real time
+	// without paying two clock reads per stage on every access. ProfBase
+	// is the profiler section id of the private stage; the remaining
+	// stages follow contiguously in chain order (see ProfSections).
+	Prof     *obs.HostProf
+	ProfBase int
 }
+
+// ProfSections lists the chain's host-profiling section names in stage
+// order. Hierarchies register them contiguously so ProfBase+offset
+// addresses each stage.
+func ProfSections() []string {
+	return []string{
+		"memsys.private", "memsys.mshr", "memsys.ring_req",
+		"memsys.l3", "memsys.dram", "memsys.ring_resp", "memsys.commit",
+	}
+}
+
+// Offsets of each stage's profiler section from ProfBase, matching
+// ProfSections order.
+const (
+	profPrivate = iota
+	profMSHR
+	profRingReq
+	profL3
+	profDRAM
+	profRingResp
+	profCommit
+)
 
 // Run processes r through the full chain; it is equivalent to
 // Pipeline.Run over the same stages.
 func (c *Chain) Run(r *Request) clock.Time {
+	if c.Prof.Sample() {
+		return c.runProfiled(r, false)
+	}
 	v := c.Private.Process(r)
 	r.Stamp[StagePrivate] = r.Now
 	if v == Done {
@@ -39,6 +76,9 @@ func (c *Chain) Run(r *Request) clock.Time {
 // performed (and missed) by the caller — the hierarchy's L1-hit fast
 // path. r.Now must already include the L1 latency.
 func (c *Chain) RunMissedL1(r *Request) clock.Time {
+	if c.Prof.Sample() {
+		return c.runProfiled(r, true)
+	}
 	v := c.Private.ProcessMissedL1(r)
 	r.Stamp[StagePrivate] = r.Now
 	if v == Done {
@@ -65,5 +105,53 @@ func (c *Chain) runShared(r *Request) clock.Time {
 	r.Stamp[StageRingResp] = r.Now
 	c.Commit.Process(r)
 	r.Stamp[StageCommit] = r.Now
+	return r.Now
+}
+
+// runProfiled is Run/RunMissedL1 with host-time stamps around every
+// stage. Simulated timing and cache mutations are identical to the
+// unprofiled path — only real time is measured, so a profiled run stays
+// bit-identical to an unprofiled one.
+func (c *Chain) runProfiled(r *Request, missedL1 bool) clock.Time {
+	t := time.Now()
+	var v Verdict
+	if missedL1 {
+		v = c.Private.ProcessMissedL1(r)
+	} else {
+		v = c.Private.Process(r)
+	}
+	r.Stamp[StagePrivate] = r.Now
+	c.Prof.Add(c.ProfBase+profPrivate, time.Since(t))
+	if v == Done {
+		return r.Now
+	}
+
+	t = time.Now()
+	v = c.MSHR.Process(r)
+	r.Stamp[StageMSHR] = r.Now
+	c.Prof.Add(c.ProfBase+profMSHR, time.Since(t))
+	if v == Done {
+		return r.Now
+	}
+	t = time.Now()
+	c.ReqHop.Process(r)
+	r.Stamp[StageRingReq] = r.Now
+	c.Prof.Add(c.ProfBase+profRingReq, time.Since(t))
+	t = time.Now()
+	c.L3.Process(r)
+	r.Stamp[StageL3] = r.Now
+	c.Prof.Add(c.ProfBase+profL3, time.Since(t))
+	t = time.Now()
+	c.DRAM.Process(r)
+	r.Stamp[StageDRAM] = r.Now
+	c.Prof.Add(c.ProfBase+profDRAM, time.Since(t))
+	t = time.Now()
+	c.RespHop.Process(r)
+	r.Stamp[StageRingResp] = r.Now
+	c.Prof.Add(c.ProfBase+profRingResp, time.Since(t))
+	t = time.Now()
+	c.Commit.Process(r)
+	r.Stamp[StageCommit] = r.Now
+	c.Prof.Add(c.ProfBase+profCommit, time.Since(t))
 	return r.Now
 }

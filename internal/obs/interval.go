@@ -71,10 +71,18 @@ func (s *Sampler) Interval() uint64 {
 }
 
 // AddDerived registers a derived per-epoch column, appended after the raw
-// counter columns in CSV output. No-op on a nil sampler.
+// counter columns in CSV output. Registering a name again replaces the
+// earlier function, so a sampler shared by pooled simulators keeps one
+// column per name. No-op on a nil sampler.
 func (s *Sampler) AddDerived(name string, f func(Sample) float64) {
 	if s == nil {
 		return
+	}
+	for i := range s.derived {
+		if s.derived[i].Name == name {
+			s.derived[i].F = f
+			return
+		}
 	}
 	s.derived = append(s.derived, DerivedColumn{Name: name, F: f})
 }
@@ -140,6 +148,25 @@ func (s *Sampler) emit(start, end uint64) {
 		}
 	}
 	s.samples = append(s.samples, sm)
+}
+
+// Reset returns the sampler to its just-constructed state — no emitted
+// samples, the first epoch starting at 0 — keeping the interval and the
+// derived columns. Call it together with the registry's Reset when a
+// pooled simulator is recycled between runs: the sampler's notion of
+// "previous counter value" is cleared with it, so post-reset deltas
+// still sum exactly to the post-reset totals. No-op on a nil sampler.
+func (s *Sampler) Reset() {
+	if s == nil {
+		return
+	}
+	s.start = 0
+	s.next = s.interval
+	s.samples = nil // emitted samples may be retained by callers
+	for k := range s.prev {
+		delete(s.prev, k)
+	}
+	s.finished = false
 }
 
 // Samples returns the emitted time series.

@@ -1,0 +1,122 @@
+package obs
+
+import "testing"
+
+// Satellite: interval-sampler edge cases — zero-length run, final
+// partial interval, restart after Reset. In every case the column sums
+// must equal the final counter totals exactly.
+
+func sumDeltas(samples []Sample, name string) uint64 {
+	var total uint64
+	for _, sm := range samples {
+		total += sm.Delta(name)
+	}
+	return total
+}
+
+func TestSamplerZeroLengthRun(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	s := NewSampler(reg, 1000)
+
+	// No time passes, no counters move: Finish(0) must not invent epochs.
+	s.Finish(0)
+	if n := len(s.Samples()); n != 0 {
+		t.Fatalf("idle zero-length run emitted %d samples, want 0", n)
+	}
+
+	// Zero-length but with activity (all work at t=0): one degenerate
+	// epoch carries the totals.
+	reg2 := NewRegistry()
+	c2 := reg2.Counter("x")
+	s2 := NewSampler(reg2, 1000)
+	c2.Add(7)
+	s2.Finish(0)
+	if n := len(s2.Samples()); n != 1 {
+		t.Fatalf("active zero-length run emitted %d samples, want 1", n)
+	}
+	sm := s2.Samples()[0]
+	if sm.StartPS != 0 || sm.EndPS != 0 {
+		t.Errorf("degenerate epoch bounds [%d,%d), want [0,0)", sm.StartPS, sm.EndPS)
+	}
+	if got := sumDeltas(s2.Samples(), "x"); got != c2.Value() {
+		t.Errorf("deltas sum %d != total %d", got, c2.Value())
+	}
+	_ = c
+}
+
+func TestSamplerFinalPartialInterval(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	s := NewSampler(reg, 1000)
+
+	c.Add(3)
+	s.Advance(1000) // full epoch [0,1000)
+	c.Add(5)
+	s.Finish(1400) // partial tail [1000,1400)
+
+	samples := s.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if last.StartPS != 1000 || last.EndPS != 1400 {
+		t.Errorf("final partial epoch [%d,%d), want [1000,1400)", last.StartPS, last.EndPS)
+	}
+	if last.Delta("x") != 5 {
+		t.Errorf("final partial delta = %d, want 5", last.Delta("x"))
+	}
+	if got := sumDeltas(samples, "x"); got != c.Value() {
+		t.Errorf("deltas sum %d != total %d", got, c.Value())
+	}
+}
+
+func TestSamplerRestartAfterReset(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	s := NewSampler(reg, 1000)
+
+	// First run: 10 events over 2.5 epochs.
+	c.Add(4)
+	s.Advance(1200)
+	c.Add(6)
+	s.Finish(2500)
+	if got := sumDeltas(s.Samples(), "x"); got != 10 {
+		t.Fatalf("first run deltas sum %d, want 10", got)
+	}
+
+	// Recycle the pooled pair: registry and sampler reset together.
+	reg.Reset()
+	s.Reset()
+	if len(s.Samples()) != 0 {
+		t.Fatal("Reset should clear emitted samples")
+	}
+
+	// Second run must attribute from zero again — deltas sum to the new
+	// totals, not to (new - stale prev).
+	c.Add(2)
+	s.Advance(1000)
+	c.Add(9)
+	s.Finish(1700)
+	samples := s.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("restarted run emitted %d samples, want 2", len(samples))
+	}
+	if samples[0].StartPS != 0 {
+		t.Errorf("restarted first epoch starts at %d, want 0", samples[0].StartPS)
+	}
+	if got := sumDeltas(samples, "x"); got != c.Value() || got != 11 {
+		t.Errorf("restarted deltas sum %d != total %d (want 11)", got, c.Value())
+	}
+
+	// Further Advance calls after Finish stay ignored until the next Reset.
+	s.Advance(99999)
+	if len(s.Samples()) != 2 {
+		t.Error("Advance after Finish should be ignored")
+	}
+}
+
+func TestSamplerResetNil(t *testing.T) {
+	var s *Sampler
+	s.Reset() // must not panic
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Ledger is the append-only run log of a sweep: one JSON object per line
+// (JSONL), so a sweep's full history — spans, per-cell results, errors —
+// is a single greppable artifact and the exact input a design-space
+// search consumes for its point cache.
+//
+// Unlike the rest of this package, ledger timestamps are HOST wall-clock
+// nanoseconds (UnixNano), not simulated picoseconds: the ledger records
+// where real time went across a fleet of simulations, while samplers and
+// tracers record where simulated time went inside one.
+//
+// A Ledger is safe for concurrent use: sweep workers append from their
+// own goroutines. All methods are nil-safe no-ops, so an unobserved
+// sweep pays only nil checks.
+type Ledger struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	err    error
+	nextID uint64
+	// now supplies span timestamps; tests pin it for deterministic output.
+	now func() int64
+}
+
+// NewLedger returns a ledger writing JSONL records to w.
+func NewLedger(w io.Writer) *Ledger {
+	return &Ledger{w: bufio.NewWriter(w), now: func() int64 { return time.Now().UnixNano() }}
+}
+
+// CreateLedger creates (truncating) a file-backed ledger at path. Close
+// flushes and closes the file.
+func CreateLedger(path string) (*Ledger, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLedger(f)
+	l.c = f
+	return l, nil
+}
+
+// Append marshals rec and writes it as one line. Records should carry
+// their own type discriminator (a `t` field) so mixed streams stay
+// greppable. The first marshal or write error sticks and suppresses
+// further output; it is reported by Err and Close. No-op on nil.
+func (l *Ledger) Append(rec any) error {
+	if l == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err != nil {
+		l.err = err
+		return err
+	}
+	if _, err := l.w.Write(data); err != nil {
+		l.err = err
+		return err
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		l.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the first error encountered while writing; nil if none.
+func (l *Ledger) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes buffered records and closes the underlying file (when
+// the ledger was opened with CreateLedger). No-op on nil.
+func (l *Ledger) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ferr := l.w.Flush(); l.err == nil {
+		l.err = ferr
+	}
+	if l.c != nil {
+		if cerr := l.c.Close(); l.err == nil {
+			l.err = cerr
+		}
+		l.c = nil
+	}
+	return l.err
+}
+
+// nowNS returns the ledger's current wall-clock reading.
+func (l *Ledger) nowNS() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.now()
+}
+
+// span allocates the next span id.
+func (l *Ledger) span() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	return l.nextID
+}
+
+// SpanRecord is the ledger line a finished span writes. Spans form a
+// tree via Parent (0 for roots), so the sweep → design-point → kernel →
+// phase hierarchy reconstructs from the flat stream.
+type SpanRecord struct {
+	T       string         `json:"t"` // always "span"
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Kind    string         `json:"kind"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"`
+	EndNS   int64          `json:"end_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Span is one node of the hierarchical host-time span tree. A span is
+// created open (Root/Child stamp the start time) and written to the
+// ledger as a single line when End is called. Methods on a nil span are
+// no-ops and Child of a nil span returns nil, so callers thread spans
+// unconditionally.
+type Span struct {
+	l       *Ledger
+	id      uint64
+	parent  uint64
+	kind    string
+	name    string
+	startNS int64
+	ended   bool
+}
+
+// Root opens a top-level span (e.g. kind "sweep"). Nil on a nil ledger.
+func (l *Ledger) Root(kind, name string) *Span {
+	if l == nil {
+		return nil
+	}
+	return &Span{l: l, id: l.span(), kind: kind, name: name, startNS: l.nowNS()}
+}
+
+// Child opens a sub-span of s. Nil on a nil span.
+func (s *Span) Child(kind, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{l: s.l, id: s.l.span(), parent: s.id, kind: kind, name: name, startNS: s.l.nowNS()}
+}
+
+// ID returns the span's ledger id; 0 on nil, so records can reference
+// their span unconditionally.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End closes the span and writes its record, with optional attributes.
+// Ending twice writes once. No-op on nil.
+func (s *Span) End(attrs map[string]any) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	_ = s.l.Append(SpanRecord{
+		T: "span", ID: s.id, Parent: s.parent, Kind: s.kind, Name: s.name,
+		StartNS: s.startNS, EndNS: s.l.nowNS(), Attrs: attrs,
+	})
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeClock returns a monotonically increasing ns source for
+// deterministic span timestamps.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 { t += 100; return t }
+}
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad ledger line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLedgerSpanHierarchy(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLedger(&buf)
+	l.now = fakeClock()
+
+	sweep := l.Root("sweep", "grid")
+	point := sweep.Child("point", "unified/pcie/explicit-copy")
+	kernel := point.Child("kernel", "reduction")
+	kernel.End(map[string]any{"total_ps": 123})
+	point.End(nil)
+	sweep.End(nil)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 3 {
+		t.Fatalf("got %d ledger lines, want 3", len(lines))
+	}
+	// Ends arrive innermost-first.
+	k, p, s := lines[0], lines[1], lines[2]
+	for _, m := range lines {
+		if m["t"] != "span" {
+			t.Fatalf("line type %v, want span", m["t"])
+		}
+	}
+	if k["kind"] != "kernel" || p["kind"] != "point" || s["kind"] != "sweep" {
+		t.Fatalf("kinds = %v %v %v", k["kind"], p["kind"], s["kind"])
+	}
+	if k["parent"] != p["id"] {
+		t.Errorf("kernel parent = %v, want point id %v", k["parent"], p["id"])
+	}
+	if p["parent"] != s["id"] {
+		t.Errorf("point parent = %v, want sweep id %v", p["parent"], s["id"])
+	}
+	if _, hasParent := s["parent"]; hasParent {
+		t.Error("root span should omit parent")
+	}
+	if k["start_ns"].(float64) >= k["end_ns"].(float64) {
+		t.Errorf("kernel span start %v not before end %v", k["start_ns"], k["end_ns"])
+	}
+	if k["attrs"].(map[string]any)["total_ps"] != float64(123) {
+		t.Errorf("kernel attrs = %v", k["attrs"])
+	}
+}
+
+func TestLedgerAppendCustomRecord(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLedger(&buf)
+	type cell struct {
+		T      string `json:"t"`
+		Kernel string `json:"kernel"`
+		WallNS int64  `json:"wall_ns"`
+	}
+	if err := l.Append(cell{T: "cell", Kernel: "reduction", WallNS: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	want := `{"t":"cell","kernel":"reduction","wall_ns":42}`
+	if got != want {
+		t.Errorf("ledger line = %s, want %s", got, want)
+	}
+}
+
+func TestLedgerConcurrentAppend(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLedger(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := l.Root("cell", "c")
+				sp.End(map[string]any{"worker": w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeLines(t, &buf)
+	if len(lines) != 8*50 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*50)
+	}
+	seen := map[float64]bool{}
+	for _, m := range lines {
+		id := m["id"].(float64)
+		if seen[id] {
+			t.Fatalf("duplicate span id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestLedgerNilSafety(t *testing.T) {
+	var l *Ledger
+	if err := l.Append(struct{}{}); err != nil {
+		t.Error("nil ledger Append should be a no-op")
+	}
+	sp := l.Root("sweep", "x")
+	if sp != nil {
+		t.Error("nil ledger Root should return nil span")
+	}
+	child := sp.Child("point", "y")
+	if child != nil {
+		t.Error("nil span Child should return nil")
+	}
+	sp.End(nil) // must not panic
+	if sp.ID() != 0 {
+		t.Error("nil span ID should be 0")
+	}
+	if err := l.Close(); err != nil {
+		t.Error("nil ledger Close should be a no-op")
+	}
+	if l.Err() != nil {
+		t.Error("nil ledger Err should be nil")
+	}
+}
+
+func TestLedgerDoubleEndWritesOnce(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLedger(&buf)
+	sp := l.Root("sweep", "x")
+	sp.End(nil)
+	sp.End(nil)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(decodeLines(t, &buf)); n != 1 {
+		t.Errorf("double End wrote %d lines, want 1", n)
+	}
+}

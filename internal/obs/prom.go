@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SortedCounterNames returns the snapshot's counter names in ascending
+// order. Every text export of a snapshot iterates names through these
+// helpers, so output is diff-stable regardless of registration order.
+func (s Snapshot) SortedCounterNames() []string { return sortedKeys(s.Counters) }
+
+// SortedGaugeNames returns the snapshot's gauge names in ascending order.
+func (s Snapshot) SortedGaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// SortedHistogramNames returns the snapshot's histogram names in
+// ascending order.
+func (s Snapshot) SortedHistogramNames() []string {
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds o into s: counters and histogram totals add, gauges take
+// o's level (last writer wins — gauges are instantaneous levels, not
+// totals). Used to aggregate per-worker registries into one sweep-wide
+// snapshot.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil && len(o.Counters) > 0 {
+		s.Counters = map[string]uint64{}
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	if len(o.Gauges) > 0 {
+		if s.Gauges == nil {
+			s.Gauges = map[string]uint64{}
+		}
+		for name, v := range o.Gauges {
+			s.Gauges[name] = v
+		}
+	}
+	if len(o.Histograms) > 0 {
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistogramSnapshot{}
+		}
+		for name, oh := range o.Histograms {
+			s.Histograms[name] = mergeHist(s.Histograms[name], oh)
+		}
+	}
+}
+
+func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	if out.Count > 0 {
+		out.Mean = float64(out.Sum) / float64(out.Count)
+	}
+	byLo := map[uint64]Bucket{}
+	for _, bk := range a.Buckets {
+		byLo[bk.Lo] = bk
+	}
+	for _, bk := range b.Buckets {
+		if have, ok := byLo[bk.Lo]; ok {
+			have.Count += bk.Count
+			byLo[bk.Lo] = have
+		} else {
+			byLo[bk.Lo] = bk
+		}
+	}
+	for _, bk := range byLo {
+		out.Buckets = append(out.Buckets, bk)
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool { return out.Buckets[i].Lo < out.Buckets[j].Lo })
+	return out
+}
+
+// promName maps a registry metric name onto the Prometheus identifier
+// charset: every run of characters outside [a-zA-Z0-9_:] becomes one
+// underscore ("mem.l3.t0.hits" → "mem_l3_t0_hits").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	pending := false
+	for _, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if ok {
+			if pending && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			pending = false
+			b.WriteRune(r)
+		} else {
+			pending = true
+		}
+	}
+	out := b.String()
+	if out == "" {
+		out = "_"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-bucketed series with _sum and _count.
+// Metrics are emitted in sorted name order, so the output is diff-stable
+// for a deterministic simulation.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+	for _, name := range s.SortedCounterNames() {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range s.SortedGaugeNames() {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
+	}
+	for _, name := range s.SortedHistogramNames() {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		var cum uint64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", pn, bk.Hi, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

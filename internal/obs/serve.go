@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Publisher is a concurrency-safe holder of the most recent metrics
+// Snapshot. Simulation code publishes at its safe points (phase or cell
+// boundaries) from its own goroutine; the introspection server reads the
+// latest snapshot from HTTP handler goroutines. This keeps the Registry
+// itself single-goroutine (its hot-path bumps stay unsynchronised) while
+// still giving scrapers a live, race-free view. Nil-safe.
+type Publisher struct {
+	mu   sync.Mutex
+	snap Snapshot
+}
+
+// Publish stores s as the latest snapshot. No-op on nil.
+func (p *Publisher) Publish(s Snapshot) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.snap = s
+	p.mu.Unlock()
+}
+
+// Latest returns the most recently published snapshot (the zero Snapshot
+// before the first Publish, or on nil).
+func (p *Publisher) Latest() Snapshot {
+	if p == nil {
+		return Snapshot{Counters: map[string]uint64{}}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snap
+}
+
+// ServerConfig wires data sources into the introspection server. Nil
+// sources leave their endpoint serving an empty document, so partial
+// wiring (metrics without progress, or vice versa) just works.
+type ServerConfig struct {
+	// Metrics supplies the snapshot behind /metrics (Prometheus text
+	// format) and /metrics.json. It is called from HTTP handler
+	// goroutines and must be safe for concurrent use — wrap a live
+	// registry in a Publisher rather than snapshotting it directly.
+	Metrics func() Snapshot
+	// Progress supplies the JSON document behind /progress. Same
+	// concurrency contract as Metrics.
+	Progress func() any
+}
+
+// Server is a live introspection HTTP server: Prometheus metrics, sweep
+// progress, and net/http/pprof host profiling — the embryo of the
+// simulation-service HTTP surface.
+//
+// Endpoints:
+//
+//	/             index
+//	/metrics      Prometheus text exposition of the latest snapshot
+//	/metrics.json the same snapshot as JSON
+//	/progress     sweep progress (points done/total, ETA, per-worker state)
+//	/debug/pprof/ standard Go host profiling
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve listens on addr (host:port; ":0" picks a free port, reported by
+// Addr) and serves the introspection endpoints in a background goroutine
+// until Close.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "hetsim introspection\n\n/metrics\n/metrics.json\n/progress\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := Snapshot{}
+		if cfg.Metrics != nil {
+			snap = cfg.Metrics()
+		}
+		_ = WritePrometheus(w, snap)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		snap := Snapshot{Counters: map[string]uint64{}}
+		if cfg.Metrics != nil {
+			snap = cfg.Metrics()
+		}
+		writeIndentedJSON(w, snap)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		var doc any = struct{}{}
+		if cfg.Progress != nil {
+			doc = cfg.Progress()
+		}
+		writeIndentedJSON(w, doc)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: serve: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+func writeIndentedJSON(w http.ResponseWriter, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down immediately. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cpu.instructions").Add(7)
+	reg.Gauge("mem.mshr.outstanding.cpu").Set(3)
+	reg.Histogram("mem.load_latency_ps").Observe(100)
+	var pub Publisher
+	pub.Publish(reg.Snapshot())
+
+	type prog struct {
+		Total int `json:"total"`
+		Done  int `json:"done"`
+	}
+	srv, err := Serve("127.0.0.1:0", ServerConfig{
+		Metrics:  pub.Latest,
+		Progress: func() any { return prog{Total: 28, Done: 13} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE cpu_instructions counter\ncpu_instructions 7\n",
+		"# TYPE mem_mshr_outstanding_cpu gauge\nmem_mshr_outstanding_cpu 3\n",
+		"mem_load_latency_ps_count 1\n",
+		`mem_load_latency_ps_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var p prog
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if p.Total != 28 || p.Done != 13 {
+		t.Errorf("/progress = %+v, want {28 13}", p)
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
+	}
+	if snap.Counters["cpu.instructions"] != 7 {
+		t.Errorf("/metrics.json counters = %v", snap.Counters)
+	}
+
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	if code, _ := get(t, base+"/"); code != http.StatusOK {
+		t.Errorf("/ status %d", code)
+	}
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope status %d, want 404", code)
+	}
+}
+
+func TestServeEmptyConfig(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK || body != "" {
+		t.Errorf("empty /metrics = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/progress"); code != http.StatusOK {
+		t.Errorf("empty /progress status %d", code)
+	}
+}
+
+func TestPublisherNilAndConcurrency(t *testing.T) {
+	var p *Publisher
+	p.Publish(Snapshot{}) // no-op
+	if got := p.Latest(); got.Counters == nil {
+		t.Error("nil publisher Latest should return an empty usable snapshot")
+	}
+
+	pub := &Publisher{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			pub.Publish(Snapshot{Counters: map[string]uint64{"x": uint64(i)}})
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = pub.Latest()
+	}
+	<-done
+}
+
+func TestWritePrometheusSortedAndSanitized(t *testing.T) {
+	// Register deliberately out of order: exposition must sort by name.
+	reg := NewRegistry()
+	reg.Counter("zeta.ops").Add(1)
+	reg.Counter("alpha.ops").Add(2)
+	reg.Counter("mem.l3.t0.hits").Add(3)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	ia, iz := strings.Index(out, "alpha_ops"), strings.Index(out, "zeta_ops")
+	im := strings.Index(out, "mem_l3_t0_hits")
+	if ia < 0 || iz < 0 || im < 0 {
+		t.Fatalf("missing sanitized names in:\n%s", out)
+	}
+	if !(ia < im && im < iz) {
+		t.Errorf("names not sorted: alpha@%d mem@%d zeta@%d", ia, im, iz)
+	}
+
+	// Diff-stability: a registry built in a different order exports the
+	// same bytes.
+	reg2 := NewRegistry()
+	reg2.Counter("mem.l3.t0.hits").Add(3)
+	reg2.Counter("alpha.ops").Add(2)
+	reg2.Counter("zeta.ops").Add(1)
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, reg2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Errorf("exposition depends on registration order:\n%s\nvs\n%s", out, b2.String())
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := Snapshot{Counters: map[string]uint64{"x": 1, "y": 2}}
+	regB := NewRegistry()
+	regB.Counter("x").Add(10)
+	regB.Gauge("g").Set(5)
+	h := regB.Histogram("h")
+	h.Observe(3)
+	h.Observe(300)
+	b := regB.Snapshot()
+
+	a.Merge(b)
+	if a.Counters["x"] != 11 || a.Counters["y"] != 2 {
+		t.Errorf("merged counters = %v", a.Counters)
+	}
+	if a.Gauges["g"] != 5 {
+		t.Errorf("merged gauges = %v", a.Gauges)
+	}
+	mh := a.Histograms["h"]
+	if mh.Count != 2 || mh.Sum != 303 {
+		t.Errorf("merged histogram = %+v", mh)
+	}
+
+	// Merging again doubles the additive parts.
+	a.Merge(b)
+	if a.Counters["x"] != 21 {
+		t.Errorf("second merge x = %d, want 21", a.Counters["x"])
+	}
+	if a.Histograms["h"].Count != 4 {
+		t.Errorf("second merge histogram count = %d, want 4", a.Histograms["h"].Count)
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"heteromem/internal/obs"
+	"heteromem/internal/systems"
+	"heteromem/internal/workload"
+)
+
+// Host-time self-profiling measures real time only: a profiled run must
+// be bit-identical to an unprofiled one, and the host.* counters must
+// appear in the registry after flushes.
+func TestHostProfDoesNotPerturbResults(t *testing.T) {
+	p, err := workload.Open("reduction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := systems.CaseStudies()[0]
+
+	plain, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	hp := obs.NewHostProf(1) // time every pipeline run: worst case
+	profiled, err := NewWithOptions(sys, Options{Metrics: reg, HostProf: hp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := profiled.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("profiled run diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	snap := reg.Snapshot()
+	var hostNames []string
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "host.") {
+			hostNames = append(hostNames, name)
+		}
+	}
+	if len(hostNames) == 0 {
+		t.Fatal("no host.* counters flushed")
+	}
+	var phaseNS, stageSamples uint64
+	for _, k := range []string{"sequential", "parallel", "transfer"} {
+		phaseNS += snap.Counters["host.sim.phase."+k+".ns"]
+	}
+	if phaseNS == 0 {
+		t.Error("phase host attribution is zero")
+	}
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "host.memsys.") && strings.HasSuffix(name, ".samples") {
+			stageSamples += v
+		}
+	}
+	if stageSamples == 0 {
+		t.Error("no memsys stage samples recorded at every=1")
+	}
+}
+
+// A pooled, reset simulator with host profiling stays bit-identical to a
+// fresh one, and per-cell registry resets leave host counters consistent.
+func TestHostProfAcrossReset(t *testing.T) {
+	p, err := workload.Open("reduction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := systems.CaseStudies()[1]
+	reg := obs.NewRegistry()
+	hp := obs.NewHostProf(8)
+	s, err := NewWithOptions(sys, Options{Metrics: reg, HostProf: hp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	reg.Reset()
+	second, err := s.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("reset run diverged under host profiling:\n got %+v\nwant %+v", second, first)
+	}
+}

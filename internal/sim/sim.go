@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"heteromem/internal/addrspace"
 	"heteromem/internal/clock"
@@ -102,6 +103,15 @@ type Options struct {
 	// Tracer records phase/transfer spans and programming-model instants
 	// in Chrome trace-event form.
 	Tracer *obs.Tracer
+	// HostProf attaches sampled host wall-clock self-profiling: per-phase
+	// attribution (sim.phase.*) plus sampled per-stage attribution in the
+	// memory pipeline (memsys.*), flushed into Metrics as host.* counters
+	// through the batched path. Requires Metrics to be visible anywhere.
+	HostProf *obs.HostProf
+	// Publish, when non-nil, receives a registry snapshot at every phase
+	// boundary, giving concurrent readers (the live introspection server)
+	// a race-free mid-run view of Metrics.
+	Publish *obs.Publisher
 }
 
 // Simulator runs kernels on one system configuration. A Simulator is
@@ -134,6 +144,17 @@ type Simulator struct {
 	metrics *obs.Registry
 	sampler *obs.Sampler
 	tracer  *obs.Tracer
+
+	// Host-time self-profiling (Options.HostProf): phase sections are
+	// timed unconditionally (one clock pair per phase), pipeline stages
+	// by sampling inside memsys.Chain.
+	hostProf                *obs.HostProf
+	secSeq, secPar, secXfer int
+	// pub receives phase-boundary registry snapshots for concurrent
+	// readers; runSpan, when set (SetRunSpan), parents one host-time
+	// ledger span per executed phase.
+	pub     *obs.Publisher
+	runSpan *obs.Span
 
 	// Scratch buffers reused across phases and runs so the replay path
 	// does not allocate per phase: the parallel-phase prologue and the
@@ -199,9 +220,23 @@ func NewWithOptions(sys systems.System, opts Options) (*Simulator, error) {
 	}
 	s.sampler = opts.Sampler
 	s.tracer = opts.Tracer
+	if opts.HostProf != nil {
+		s.hostProf = opts.HostProf
+		s.hier.InstrumentHost(opts.HostProf)
+		s.secSeq = opts.HostProf.Section("sim.phase.sequential")
+		s.secPar = opts.HostProf.Section("sim.phase.parallel")
+		s.secXfer = opts.HostProf.Section("sim.phase.transfer")
+	}
+	s.pub = opts.Publish
 	s.registerDerived()
 	return s, nil
 }
+
+// SetRunSpan sets (or clears, with nil) the host-time ledger span the
+// next Run's phases will be children of: each executed phase writes a
+// kind-"phase" span under it, completing the sweep → design-point →
+// kernel → phase hierarchy. The caller owns and Ends the parent span.
+func (s *Simulator) SetRunSpan(span *obs.Span) { s.runSpan = span }
 
 // registerDerived adds the standard per-epoch derived columns to the
 // sampler: they need configuration knowledge (clock periods, tile and
@@ -278,18 +313,42 @@ func (s *Simulator) Reset() {
 	s.sharedHandle = addrspace.Object{}
 	s.proto.Reset()
 	s.metrics.Reset()
+	s.sampler.Reset()
 }
 
 // flushObs drains the batched hot-path counters into the registry so
 // interval samples and registry reads observe them. Core counters flush
 // when each Execution ends (and mid-phase in the co-simulation loop);
-// this covers the hierarchy and its components. A no-op when the run is
-// uninstrumented.
+// this covers the hierarchy and its components, plus the host-time
+// self-profiler. A no-op when the run is uninstrumented.
 func (s *Simulator) flushObs() {
 	if s.metrics == nil {
 		return
 	}
 	s.hier.FlushObs()
+	s.hostProf.FlushTo(s.metrics)
+}
+
+// publishObs hands the current registry snapshot to concurrent readers.
+// Called at phase boundaries only — snapshots allocate, so the
+// co-simulation inner loop never publishes.
+func (s *Simulator) publishObs() {
+	if s.pub == nil {
+		return
+	}
+	s.pub.Publish(s.metrics.Snapshot())
+}
+
+// phaseSection maps a phase kind onto its host-profiler section.
+func (s *Simulator) phaseSection(k workload.PhaseKind) int {
+	switch k {
+	case workload.Sequential:
+		return s.secSeq
+	case workload.Parallel:
+		return s.secPar
+	default:
+		return s.secXfer
+	}
 }
 
 // Hierarchy exposes the memory system for inspection.
@@ -344,6 +403,14 @@ func (s *Simulator) Run(p *workload.Program) (Result, error) {
 	for i := range p.Phases {
 		ph := &p.Phases[i]
 		phaseStart := now
+		var phaseSpan *obs.Span
+		if s.runSpan != nil {
+			phaseSpan = s.runSpan.Child("phase", fmt.Sprintf("phase%d.%s", i, ph.Kind))
+		}
+		var hostStart time.Time
+		if s.hostProf != nil {
+			hostStart = time.Now()
+		}
 		var err error
 		switch ph.Kind {
 		case workload.Sequential:
@@ -355,19 +422,26 @@ func (s *Simulator) Run(p *workload.Program) (Result, error) {
 		default:
 			err = fmt.Errorf("sim: unknown phase kind %v", ph.Kind)
 		}
+		if s.hostProf != nil {
+			s.hostProf.Add(s.phaseSection(ph.Kind), time.Since(hostStart))
+		}
 		if err != nil {
+			phaseSpan.End(map[string]any{"err": err.Error()})
 			return res, fmt.Errorf("sim: %s phase %d on %s: %w", p.Name, i, s.sys.Name, err)
 		}
+		phaseSpan.End(map[string]any{"sim_ps": uint64(now) - uint64(phaseStart)})
 		s.tracer.Span(obs.TrackSim, fmt.Sprintf("phase%d.%s", i, ph.Kind), "phase",
 			uint64(phaseStart), uint64(now), nil)
 		s.flushObs()
 		s.sampler.Advance(uint64(now))
+		s.publishObs()
 	}
 	// Program end is a synchronisation point: outstanding asynchronous
 	// copies must land before the program completes.
 	now = s.proto.SyncPoint(&s.env, now)
 	s.flushObs()
 	s.sampler.Finish(uint64(now))
+	s.publishObs()
 	res.Mem = s.hier.Stats()
 	res.Fabric = s.fabric.Stats()
 	res.FabricName = s.fabric.Name()

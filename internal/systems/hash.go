@@ -1,0 +1,26 @@
+package systems
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Hash returns a canonical content hash of the design point, in the form
+// "sha256:<hex>". The hash covers every axis that affects simulation —
+// model, fabric, protocol, fault granularity, parameters — but NOT the
+// display name, so two differently-named files describing the same point
+// hash identically. It is computed over the canonical Save encoding
+// (full params object, sorted keys via struct order), making it stable
+// across processes and suitable as a ledger key or point-cache key.
+//
+// Hashing an invalid system returns "" — callers that already validated
+// can ignore the error path.
+func Hash(s System) string {
+	s.Name = ""
+	data, err := Save(s)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}

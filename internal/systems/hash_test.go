@@ -1,0 +1,59 @@
+package systems
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHashIgnoresName(t *testing.T) {
+	a := CaseStudies()[0]
+	b := a
+	b.Name = "renamed"
+	ha, hb := Hash(a), Hash(b)
+	if ha == "" || hb == "" {
+		t.Fatal("hash of valid system is empty")
+	}
+	if ha != hb {
+		t.Errorf("renamed system hashes differently: %s vs %s", ha, hb)
+	}
+	if !strings.HasPrefix(ha, "sha256:") || len(ha) != len("sha256:")+64 {
+		t.Errorf("malformed hash %q", ha)
+	}
+}
+
+func TestHashSeparatesDesignPoints(t *testing.T) {
+	seen := make(map[string]string)
+	for _, s := range CaseStudies() {
+		h := Hash(s)
+		if h == "" {
+			t.Fatalf("system %q: empty hash", s.Name)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("systems %q and %q collide on %s", prev, s.Name, h)
+		}
+		seen[h] = s.Name
+	}
+}
+
+func TestHashStableAcrossRoundTrip(t *testing.T) {
+	s := CaseStudies()[1]
+	data, err := Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(s) != Hash(loaded) {
+		t.Error("Save/Load round trip changed the hash")
+	}
+}
+
+func TestHashInvalidSystem(t *testing.T) {
+	var s System
+	s.Model = 200 // out of range
+	if h := Hash(s); h != "" {
+		t.Errorf("invalid system hashed to %q, want empty", h)
+	}
+}
