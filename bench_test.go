@@ -24,6 +24,7 @@ import (
 	"heteromem/internal/dram"
 	"heteromem/internal/harness"
 	"heteromem/internal/mem"
+	"heteromem/internal/memtech"
 	"heteromem/internal/obs"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
@@ -191,6 +192,40 @@ func BenchmarkSimulateKernel(b *testing.B) {
 				}
 			}
 			reportMetric(b, float64(p.TotalInstructions()), "insts/run")
+			benchJSON.Add(b.Name()+"/ns_op",
+				float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/op")
+		})
+	}
+}
+
+// --- Memory technologies (DESIGN.md section 12) ---
+
+// BenchmarkMemTech runs the latency-bound reduction kernel on the ideal
+// heterogeneous system under each terminal memory backend. The sim_us
+// rows land in the BENCH_<date>.json dump so cmd/benchcmp gates both
+// the simulated results and the simulator's own throughput per backend.
+func BenchmarkMemTech(b *testing.B) {
+	p := workload.MustGenerate("reduction")
+	for _, k := range memtech.AllKinds() {
+		b.Run(k.String(), func(b *testing.B) {
+			sys := systems.IdealHetero()
+			sys.MemTech = memtech.Spec{Kind: k}
+			var total clock.Duration
+			for i := 0; i < b.N; i++ {
+				s, err := sim.New(sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.MemTech != k.String() {
+					b.Fatalf("result reports mem_tech %q, want %q", res.MemTech, k)
+				}
+				total = res.Total()
+			}
+			reportMetric(b, total.Microseconds(), "sim_us")
 			benchJSON.Add(b.Name()+"/ns_op",
 				float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/op")
 		})

@@ -33,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hetsim: ")
 	var (
-		system   = flag.String("system", "CPU+GPU", "system configuration: a built-in name (CPU+GPU, LRB, GMAC, Fusion, IDEAL-HETERO) or a path to a declarative JSON file (see examples/systems)")
+		system   = flag.String("system", "CPU+GPU", "system configuration: a built-in name (CPU+GPU, LRB, GMAC, Fusion, IDEAL-HETERO, grace-hopper) or a path to a declarative JSON file (see examples/systems)")
 		kernel   = flag.String("kernel", "reduction", "kernel: "+strings.Join(workload.Names(), ", "))
 		program  = flag.String("program", "", "run a saved program file (from hettrace -saveprog) instead of a named kernel")
 		all      = flag.Bool("all", false, "run every system on the kernel")
@@ -285,10 +285,11 @@ func schemeByName(name string) (locality.Scheme, error) {
 	return locality.Scheme{}, fmt.Errorf("unknown locality scheme %q (expl-shared, expl-private, hybrid)", name)
 }
 
-// findSystem resolves -system: a built-in case-study name, or a path to
-// a declarative JSON description (systems.Load).
+// findSystem resolves -system: a built-in name, or a path to a
+// declarative JSON description (systems.Load).
 func findSystem(name string) (systems.System, error) {
-	for _, s := range systems.CaseStudies() {
+	builtins := append(systems.CaseStudies(), systems.GraceHopper())
+	for _, s := range builtins {
 		if strings.EqualFold(s.Name, name) {
 			return s, nil
 		}
@@ -297,7 +298,7 @@ func findSystem(name string) (systems.System, error) {
 		return systems.LoadFile(name)
 	}
 	var names []string
-	for _, s := range systems.CaseStudies() {
+	for _, s := range builtins {
 		names = append(names, s.Name)
 	}
 	return systems.System{}, fmt.Errorf("unknown system %q (have %s, or a JSON file path)", name, strings.Join(names, ", "))
@@ -315,6 +316,7 @@ func printDetail(res sim.Result) {
 	tbl.AddRow("page faults (lib-pf)", res.PageFaults)
 	tbl.AddRow("ownership ops", res.OwnershipOps)
 	tbl.AddRow("fabric", res.Fabric.String())
+	tbl.AddRow("memory technology", res.MemTech)
 	tbl.AddRow("dram fills cpu/gpu", fmt.Sprintf("%d/%d", res.Mem.DRAMFills[0], res.Mem.DRAMFills[1]))
 	tbl.AddRow("L3 hits cpu/gpu", fmt.Sprintf("%d/%d", res.Mem.L3Hits[0], res.Mem.L3Hits[1]))
 	tbl.AddRow("page-table map updates", fmt.Sprintf("cpu %d, gpu %d", res.Space.MapUpdates[0], res.Space.MapUpdates[1]))

@@ -7,6 +7,7 @@
 //	hetsweep -figure 5 -quick  # small kernels only
 //	hetsweep -all              # everything
 //	hetsweep -grid g.json      # sweep a declarative design-space grid
+//	hetsweep -figure 5 -memtech hbm   # case studies on an HBM backend
 //
 // A sweep can be observed while it runs: -serve starts the live
 // introspection server (/progress, /metrics, pprof) and -out writes a
@@ -25,6 +26,7 @@ import (
 
 	"heteromem/internal/guideline"
 	"heteromem/internal/harness"
+	"heteromem/internal/memtech"
 	"heteromem/internal/prof"
 	"heteromem/internal/report"
 	"heteromem/internal/systems"
@@ -45,6 +47,7 @@ func main() {
 		csvPath     = flag.String("csv", "", "also write the case-study sweep as CSV to this file")
 		energyOut   = flag.Bool("energy", false, "print the energy breakdown for the case-study sweep")
 		jsonOut     = flag.Bool("json", false, "emit the case-study sweep (full results) as JSON to stdout")
+		memtechName = flag.String("memtech", "dram", "terminal memory technology for the case-study sweep (dram, hbm, nvm, dram-cache)")
 		par         = flag.Int("par", 0, "sweep worker count (0 = GOMAXPROCS)")
 
 		serveAddr      = flag.String("serve", "", "serve live sweep introspection (/progress, /metrics, pprof) on this address while running")
@@ -115,16 +118,21 @@ func main() {
 		fmt.Println(f())
 	}
 
+	tech, err := memtech.Parse(*memtechName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var caseCells []harness.Cell
 	caseStudies := func() []harness.Cell {
 		if caseCells == nil {
+			sysList := systems.CaseStudiesWithTech(tech)
 			var err error
-			caseCells, err = exec.RunCaseStudies(kernels)
+			caseCells, err = exec.RunSystems(sysList, kernels)
 			if err != nil {
 				log.Fatal(err)
 			}
 			obsRun.setSweep(sweepInfo{
-				systems: systems.CaseStudies(), kernels: kernels, cells: caseCells,
+				systems: sysList, kernels: kernels, cells: caseCells,
 			})
 		}
 		return caseCells

@@ -25,6 +25,7 @@ import (
 	"heteromem/internal/guideline"
 	"heteromem/internal/harness"
 	"heteromem/internal/locality"
+	"heteromem/internal/memtech"
 	"heteromem/internal/model"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
@@ -63,6 +64,11 @@ type (
 	// Grid declaratively spans a region of the design space, one list per
 	// axis; Grid.Enumerate takes the cross-product of coherent points.
 	Grid = systems.Grid
+	// MemTech selects the terminal memory technology behind the shared
+	// L3 and its parameters (the mem_tech design axis).
+	MemTech = memtech.Spec
+	// MemTechKind names a terminal memory technology.
+	MemTechKind = memtech.Kind
 )
 
 // The four address-space models (Section II-A, Figure 1).
@@ -89,6 +95,18 @@ const (
 	ADSMLazy = model.ADSMLazy
 	// IdealProtocol is the no-op protocol of a unified coherent machine.
 	IdealProtocol = model.Ideal
+)
+
+// The terminal memory technologies (the mem_tech axis).
+const (
+	// MemDRAM is the paper's DDR3-1333 baseline (the default).
+	MemDRAM = memtech.DRAM
+	// MemHBM is a high-bandwidth stacked DRAM.
+	MemHBM = memtech.HBM
+	// MemNVM is a non-volatile tier with asymmetric read/write latency.
+	MemNVM = memtech.NVM
+	// MemDRAMCache is a DRAM cache fronting slow far memory.
+	MemDRAMCache = memtech.DRAMCache
 )
 
 // Declarative system and grid serialisation (JSON).
@@ -123,6 +141,12 @@ var (
 	IdealHetero = systems.IdealHetero
 	// CaseStudies returns all five in the paper's order.
 	CaseStudies = systems.CaseStudies
+	// CaseStudiesWithTech returns the five case studies re-terminated on
+	// the given memory technology.
+	CaseStudiesWithTech = systems.CaseStudiesWithTech
+	// GraceHopper is the Grace-Hopper-style preset: coherent unified
+	// memory through shared controllers, terminated on HBM.
+	GraceHopper = systems.GraceHopper
 	// SystemForModel returns the Figure 7 configuration for a model:
 	// ideal communication, shared cache.
 	SystemForModel = systems.ForModel

@@ -181,11 +181,18 @@ type ctrlObs struct {
 // per-epoch deltas divided by the epoch length give achieved bandwidth.
 // A nil registry detaches the instruments.
 func (c *Controller) Instrument(reg *obs.Registry) {
+	c.InstrumentPrefix(reg, "dram")
+}
+
+// InstrumentPrefix is Instrument under a caller-chosen namespace, for
+// controllers embedded in another device (an HBM stack registers its
+// banked-controller metrics as memtech.hbm.*).
+func (c *Controller) InstrumentPrefix(reg *obs.Registry, prefix string) {
 	c.obs = ctrlObs{
-		requests:  reg.Counter("dram.requests"),
-		rowHits:   reg.Counter("dram.row_hits"),
-		rowMisses: reg.Counter("dram.row_misses"),
-		bytes:     reg.Counter("dram.bytes"),
+		requests:  reg.Counter(prefix + ".requests"),
+		rowHits:   reg.Counter(prefix + ".row_hits"),
+		rowMisses: reg.Counter(prefix + ".row_misses"),
+		bytes:     reg.Counter(prefix + ".bytes"),
 	}
 }
 

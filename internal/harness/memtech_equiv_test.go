@@ -1,0 +1,66 @@
+package harness_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heteromem/internal/harness"
+	"heteromem/internal/memtech"
+	"heteromem/internal/systems"
+)
+
+// TestMemTechDRAMEquivalence is the pluggable-backend refactor's
+// correctness anchor: a sweep whose systems carry an *explicit*
+// mem_tech: dram spec (exercising the Spec-driven backend construction
+// rather than the zero-value default) must reproduce the committed
+// Figure 5/6 goldens byte for byte. It never regenerates the goldens —
+// no -update path — so it can only pass by matching what the DRAMStage
+// produced before the Backend interface existed.
+func TestMemTechDRAMEquivalence(t *testing.T) {
+	sysList := systems.CaseStudies()
+	for i := range sysList {
+		sysList[i].MemTech = memtech.Spec{Kind: memtech.DRAM}
+	}
+	cells, err := harness.Executor{}.RunSystems(sysList, harness.QuickKernels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, text := range map[string]string{
+		"figure5.txt": harness.RenderFigure5(cells),
+		"figure6.txt": harness.RenderFigure6(cells),
+	} {
+		want, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("missing committed golden %s: %v", name, err)
+		}
+		if text != string(want) {
+			t.Errorf("mem_tech: dram diverges from the pre-refactor %s golden:\n--- got ---\n%s\n--- want ---\n%s",
+				name, text, want)
+		}
+	}
+}
+
+// Every non-DRAM backend must produce a breakdown that differs from the
+// DRAM baseline (the axis is real, not cosmetic) while keeping the
+// sweep shape intact.
+func TestMemTechAxisChangesResults(t *testing.T) {
+	kernels := []string{"reduction"}
+	base, err := harness.Executor{}.RunSystems(systems.CaseStudies()[:1], kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []memtech.Kind{memtech.HBM, memtech.NVM, memtech.DRAMCache} {
+		cells, err := harness.Executor{}.RunSystems(systems.CaseStudiesWithTech(k)[:1], kernels)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if cells[0].Result.MemTech != k.String() {
+			t.Errorf("%v: result reports tech %q", k, cells[0].Result.MemTech)
+		}
+		if cells[0].Result.Total() == base[0].Result.Total() {
+			t.Errorf("%v: total identical to DRAM baseline (%v) — backend not in the path",
+				k, base[0].Result.Total())
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"heteromem/internal/clock"
+	"heteromem/internal/memtech"
 )
 
 // fastH returns a baseline hierarchy with one CPU line resident and
@@ -173,6 +174,42 @@ func BenchmarkHierarchyAccess(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			// Ever-increasing line addresses: cold at every level.
 			now = h.Access(CPU, uint64(i)*64, false, now)
+		}
+	})
+	// The alternative terminal backends on the same ever-cold stream:
+	// what a backend swap costs per simulated access.
+	coldStream := func(k memtech.Kind) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := TableII()
+			cfg.Tech = memtech.Spec{Kind: k}
+			h := MustNew(cfg)
+			now := clock.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = h.Access(CPU, uint64(i)*64, false, now)
+			}
+		}
+	}
+	b.Run("hbm", coldStream(memtech.HBM))
+	b.Run("nvm", coldStream(memtech.NVM))
+	b.Run("dram-cache-miss", coldStream(memtech.DRAMCache))
+	b.Run("dram-cache-hit", func(b *testing.B) {
+		cfg := TableII()
+		cfg.Tech = memtech.Spec{Kind: memtech.DRAMCache}
+		h := MustNew(cfg)
+		// 16 MB round-robin: overruns the 8 MB L3 so every access reaches
+		// the backend, but fits the 64 MB near cache, so after one warmup
+		// pass the steady state is all near-memory hits.
+		const lines = (16 << 20) / 64
+		now := clock.Time(0)
+		for i := 0; i < lines; i++ {
+			now = h.Access(CPU, uint64(i)*64, false, now)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now = h.Access(CPU, uint64(i%lines)*64, false, now)
 		}
 	})
 }

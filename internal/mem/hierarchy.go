@@ -20,6 +20,7 @@ import (
 	"heteromem/internal/coherence"
 	"heteromem/internal/dram"
 	"heteromem/internal/memsys"
+	"heteromem/internal/memtech"
 	"heteromem/internal/noc"
 	"heteromem/internal/obs"
 )
@@ -106,6 +107,13 @@ type Config struct {
 
 	Ring noc.Config
 	DRAM dram.Config
+
+	// Tech selects the terminal memory technology behind the L3 (the
+	// mem_tech design axis). The zero Spec is the DDR3 baseline above;
+	// other kinds replace the terminal stage with an HBM, NVM or
+	// DRAM-cache backend. The DRAM controller is always built — the
+	// memory-controller fabric DMAs through it regardless of Tech.
+	Tech memtech.Spec
 }
 
 // CoherenceMode selects the cross-PU coherence machinery.
@@ -143,6 +151,9 @@ func (c Config) validate() error {
 	}
 	if c.Ring.Stops != c.mcStop()+1 {
 		return fmt.Errorf("mem: ring has %d stops, hierarchy needs %d", c.Ring.Stops, c.mcStop()+1)
+	}
+	if err := c.Tech.Validate(); err != nil {
+		return fmt.Errorf("mem: %w", err)
 	}
 	return nil
 }
@@ -223,6 +234,9 @@ type Hierarchy struct {
 	private [NumPUs]*memsys.PrivateStage
 	coh     *memsys.CoherenceStage
 	l3Stage *memsys.L3Stage
+	// backend is the terminal stage selected by cfg.Tech, shared by both
+	// chains and by the L3's victim-writeback path.
+	backend memsys.Backend
 	chain   [NumPUs]memsys.Chain
 	// req is the reusable transaction: accesses are sequential per
 	// hierarchy (one simulator, one goroutine), so a single request
@@ -308,6 +322,7 @@ func (h *Hierarchy) Instrument(reg *obs.Registry) {
 	}
 	h.ring.Instrument(reg)
 	h.dram.Instrument(reg)
+	h.backend.Instrument(reg)
 }
 
 // InstrumentHost attaches sampled host wall-clock attribution to the
@@ -371,15 +386,17 @@ func New(cfg Config) (*Hierarchy, error) {
 		}
 	}
 	h.gen = 1 // zero-valued memo slots must never match
-	h.buildPipelines()
+	if err := h.buildPipelines(); err != nil {
+		return nil, err
+	}
 	return h, nil
 }
 
 // buildPipelines composes the per-PU stage pipelines over the
 // substrates New assembled: private levels, MSHR merge, request hop,
-// L3 (with coherence), DRAM, response hop, commit. Stage order is the
-// request path of Table II.
-func (h *Hierarchy) buildPipelines() {
+// L3 (with coherence), the terminal backend cfg.Tech selects, response
+// hop, commit. Stage order is the request path of Table II.
+func (h *Hierarchy) buildPipelines() error {
 	cfg := h.cfg
 	h.topo = memsys.Topology{
 		PUStop:    [memsys.NumPUs]int{cfg.cpuStop(), cfg.gpuStop()},
@@ -410,19 +427,20 @@ func (h *Hierarchy) buildPipelines() {
 		Coherence: coh, Env: &h.env,
 	}
 	h.l3Stage = &memsys.L3Stage{
-		Tiles: h.l3, Lat: cfg.L3Lat, Mem: h.dram,
+		Tiles: h.l3, Lat: cfg.L3Lat,
 		Topo: h.topo, Coherence: coh, Env: &h.env,
 	}
-	dramStage := &memsys.DRAMStage{
-		Ctrl: h.dram, Net: h.ring, Topo: h.topo, L3: h.l3Stage, Env: &h.env,
+	if err := h.buildBackend(); err != nil {
+		return err
 	}
+	h.l3Stage.Mem = h.backend
 	for p := PU(0); p < NumPUs; p++ {
 		h.chain[p] = memsys.Chain{
 			Private: h.private[p],
 			MSHR:    &memsys.MSHRStage{File: h.mshr[p]},
 			ReqHop:  &memsys.RingHopStage{Stage: memsys.StageRingReq, Net: h.ring, Topo: h.topo},
 			L3:      h.l3Stage,
-			DRAM:    dramStage,
+			Backend: h.backend,
 			RespHop: &memsys.RingHopStage{Stage: memsys.StageRingResp, Net: h.ring, Topo: h.topo},
 			Commit:  &memsys.CommitStage{Private: h.private[p], File: h.mshr[p], Env: &h.env},
 		}
@@ -432,6 +450,72 @@ func (h *Hierarchy) buildPipelines() {
 	h.l1[CPU], h.l1Lat[CPU] = h.cpuL1d, cfg.CPUL1DLat
 	h.l1[GPU], h.l1Lat[GPU] = h.gpuL1d, cfg.GPUL1DLat
 	h.lineShift = uint(bits.TrailingZeros64(uint64(cfg.L3Tile.LineBytes)))
+	return nil
+}
+
+// buildBackend constructs the terminal memory stage cfg.Tech selects.
+func (h *Hierarchy) buildBackend() error {
+	cfg := h.cfg
+	switch cfg.Tech.Kind {
+	case memtech.DRAM:
+		h.backend = &memsys.DRAMStage{
+			Ctrl: h.dram, Net: h.ring, Topo: h.topo, L3: h.l3Stage, Env: &h.env,
+		}
+	case memtech.HBM:
+		p := cfg.Tech.ResolvedHBM()
+		ctrl, err := dram.New(p.DRAMConfig(cfg.L3Tile.LineBytes))
+		if err != nil {
+			return fmt.Errorf("mem: mem_tech.hbm: %w", err)
+		}
+		h.backend = &memsys.HBMStage{
+			Ctrl: ctrl, ExtraLat: p.ExtraLat(),
+			Net: h.ring, Topo: h.topo, L3: h.l3Stage, Env: &h.env,
+		}
+	case memtech.NVM:
+		p := cfg.Tech.ResolvedNVM()
+		chans := make([]*clock.Resource, p.Channels)
+		for i := range chans {
+			chans[i] = clock.NewResource(fmt.Sprintf("nvm.ch%d", i))
+		}
+		h.backend = &memsys.NVMStage{
+			Chans:      chans,
+			ReadLat:    clock.Duration(p.ReadPS),
+			WriteLat:   clock.Duration(p.WritePS),
+			Bus:        clock.Duration(p.BusPS),
+			QueueDepth: p.WriteQueueDepth,
+			Net:        h.ring, Topo: h.topo, L3: h.l3Stage, Env: &h.env,
+		}
+	case memtech.DRAMCache:
+		p := cfg.Tech.ResolvedDRAMCache()
+		dir, err := cache.New(cache.Config{
+			Name:      "dram_cache",
+			SizeBytes: int(p.SizeBytes),
+			LineBytes: cfg.L3Tile.LineBytes,
+			Ways:      p.Ways,
+		})
+		if err != nil {
+			return fmt.Errorf("mem: mem_tech.dram_cache: %w", err)
+		}
+		near := make([]*clock.Resource, p.NearChannels)
+		for i := range near {
+			near[i] = clock.NewResource(fmt.Sprintf("dram_cache.near%d", i))
+		}
+		far := make([]*clock.Resource, p.FarChannels)
+		for i := range far {
+			far[i] = clock.NewResource(fmt.Sprintf("dram_cache.far%d", i))
+		}
+		h.backend = &memsys.DRAMCacheStage{
+			Dir:       dir,
+			NearChans: near, FarChans: far,
+			NearLat: clock.Duration(p.NearPS), NearBus: clock.Duration(p.NearBusPS),
+			FarRead: clock.Duration(p.FarReadPS), FarWrite: clock.Duration(p.FarWritePS),
+			FarBus: clock.Duration(p.FarBusPS),
+			Net:    h.ring, Topo: h.topo, L3: h.l3Stage, Env: &h.env,
+		}
+	default:
+		return fmt.Errorf("mem: mem_tech.kind: invalid memory technology %d", uint8(cfg.Tech.Kind))
+	}
+	return nil
 }
 
 // MustNew is New but panics on configuration error.
@@ -471,6 +555,7 @@ func (h *Hierarchy) Reset() {
 	}
 	h.ring.Reset()
 	h.dram.Reset()
+	h.backend.Reset()
 	for p := PU(0); p < NumPUs; p++ {
 		h.mshr[p].Reset()
 	}
@@ -508,6 +593,7 @@ func (h *Hierarchy) FlushObs() {
 	for _, t := range h.l3 {
 		t.FlushObs()
 	}
+	h.backend.FlushObs()
 }
 
 // Scratchpad returns the GPU's software-managed cache.
@@ -515,6 +601,12 @@ func (h *Hierarchy) Scratchpad() *cache.Scratchpad { return h.scratch }
 
 // DRAM returns the memory controller, for direct DMA-style transfers.
 func (h *Hierarchy) DRAM() *dram.Controller { return h.dram }
+
+// Backend returns the terminal memory stage serving L3 misses.
+func (h *Hierarchy) Backend() memsys.Backend { return h.backend }
+
+// TechKind returns the configured memory technology.
+func (h *Hierarchy) TechKind() memtech.Kind { return h.cfg.Tech.Kind }
 
 // Ring returns the interconnect, for reporting.
 func (h *Hierarchy) Ring() *noc.Ring { return h.ring }

@@ -22,7 +22,11 @@ type Chain struct {
 	MSHR    *MSHRStage
 	ReqHop  *RingHopStage
 	L3      *L3Stage
-	DRAM    *DRAMStage
+	// Backend is the terminal memory stage (the mem_tech axis): the
+	// DDR3 DRAMStage by default, or an HBM/NVM/DRAM-cache stage. This
+	// is the chain's one interface slot — it sits on the L3-miss path
+	// only, so the dispatch never touches the L1-hit fast path.
+	Backend Backend
 	RespHop *RingHopStage
 	Commit  *CommitStage
 
@@ -88,7 +92,7 @@ func (c *Chain) RunMissedL1(r *Request) clock.Time {
 }
 
 // runShared is the shared-path tail: MSHR merge, ring hop out, L3 (with
-// coherence), DRAM, ring hop back, commit.
+// coherence), the terminal backend, ring hop back, commit.
 func (c *Chain) runShared(r *Request) clock.Time {
 	v := c.MSHR.Process(r)
 	r.Stamp[StageMSHR] = r.Now
@@ -99,7 +103,7 @@ func (c *Chain) runShared(r *Request) clock.Time {
 	r.Stamp[StageRingReq] = r.Now
 	c.L3.Process(r)
 	r.Stamp[StageL3] = r.Now
-	c.DRAM.Process(r)
+	c.Backend.Process(r)
 	r.Stamp[StageDRAM] = r.Now
 	c.RespHop.Process(r)
 	r.Stamp[StageRingResp] = r.Now
@@ -142,7 +146,7 @@ func (c *Chain) runProfiled(r *Request, missedL1 bool) clock.Time {
 	r.Stamp[StageL3] = r.Now
 	c.Prof.Add(c.ProfBase+profL3, time.Since(t))
 	t = time.Now()
-	c.DRAM.Process(r)
+	c.Backend.Process(r)
 	r.Stamp[StageDRAM] = r.Now
 	c.Prof.Add(c.ProfBase+profDRAM, time.Since(t))
 	t = time.Now()

@@ -1,0 +1,142 @@
+package memsys
+
+import (
+	"heteromem/internal/cache"
+	"heteromem/internal/clock"
+	"heteromem/internal/obs"
+)
+
+// DRAMCacheStage is the two-level Backend: a set-associative DRAM cache
+// (fast, small "near" memory — typically on-package stacked DRAM)
+// fronting a slow, large "far" memory (NVM or a remote pool). Every
+// access pays the near-memory tag-and-data probe; a hit ends there,
+// while a miss continues to far memory and fills the near cache,
+// possibly writing a dirty victim back to far memory. The interesting
+// regime is the working set that fits near memory after warmup: it
+// runs at near-DRAM speed against a far memory several times slower.
+//
+// The stage owns its near-cache directory and channel resources, so
+// Reset restores them here.
+type DRAMCacheStage struct {
+	// Dir tracks which lines currently reside in near memory; its
+	// hit/miss/eviction stats are the cache's tag-array view.
+	Dir *cache.Cache
+	// NearChans/FarChans are the per-channel occupancy resources of the
+	// two memories; lines interleave across each set.
+	NearChans []*clock.Resource
+	FarChans  []*clock.Resource
+	NearLat   clock.Duration
+	NearBus   clock.Duration
+	FarRead   clock.Duration
+	FarWrite  clock.Duration
+	FarBus    clock.Duration
+	Net       Interconnect
+	Topo      Topology
+	L3        *L3Stage
+	Env       *Env
+
+	hits       backendCounter
+	misses     backendCounter
+	fills      backendCounter
+	writebacks backendCounter
+}
+
+// ID implements Stage; the terminal slot keeps the StageDRAM stamp so
+// request breakdowns stay comparable across backends.
+func (s *DRAMCacheStage) ID() StageID { return StageDRAM }
+
+// Process serves the L3 miss from near memory when the line is cached
+// there, and otherwise from far memory, installing the line near on the
+// way back.
+func (s *DRAMCacheStage) Process(r *Request) Verdict {
+	if r.Flags&FlagL3Hit != 0 {
+		return Next
+	}
+	r.Flags |= FlagDRAM
+	tile := s.Topo.TileFor(r.Addr)
+	ts := s.Topo.TileStop(tile)
+	r.Now = s.Net.Send(ts, s.Topo.MCStop, s.Topo.ReqBytes, r.Now)
+	r.Now = s.access(r.Addr, false, r.Now)
+	s.Env.DRAMFills[r.PU]++
+	r.Now = s.Net.Send(s.Topo.MCStop, ts, s.Topo.LineBytes+s.Topo.ReqBytes, r.Now)
+	s.L3.Fill(tile, r.Addr, false, r.Write, r.Now)
+	return Next
+}
+
+// access performs one near-probe-then-maybe-far access and returns the
+// completion time. The near probe (tag check + data access) is always
+// paid; a miss adds the far read and the near fill.
+func (s *DRAMCacheStage) access(addr uint64, write bool, now clock.Time) clock.Time {
+	start, _ := s.NearChans[chanFor(addr, s.Topo.LineBytes, len(s.NearChans))].Acquire(now, s.NearBus)
+	now = start.Add(s.NearLat)
+	if s.Dir.Lookup(addr, write) {
+		s.hits.n++
+		return now
+	}
+	s.misses.n++
+	start, _ = s.FarChans[chanFor(addr, s.Topo.LineBytes, len(s.FarChans))].Acquire(now, s.FarBus)
+	now = start.Add(s.FarRead)
+	s.fill(addr, write, now)
+	return now
+}
+
+// fill installs the line into near memory: the data write occupies the
+// near channel off the critical path, and a dirty victim goes back to
+// far memory.
+func (s *DRAMCacheStage) fill(addr uint64, dirty bool, now clock.Time) {
+	s.fills.n++
+	s.NearChans[chanFor(addr, s.Topo.LineBytes, len(s.NearChans))].Acquire(now, s.NearBus)
+	ev := s.Dir.Fill(addr, false, dirty)
+	if ev.Valid && ev.Dirty {
+		s.writebacks.n++
+		start, _ := s.FarChans[chanFor(ev.Addr, s.Topo.LineBytes, len(s.FarChans))].Acquire(now, s.FarBus)
+		_ = start.Add(s.FarWrite)
+	}
+}
+
+// Writeback implements Backend: a dirty L3 victim lands in near memory,
+// write-allocating on a near miss so the line's eventual re-read hits.
+func (s *DRAMCacheStage) Writeback(addr uint64, now clock.Time) {
+	start, _ := s.NearChans[chanFor(addr, s.Topo.LineBytes, len(s.NearChans))].Acquire(now, s.NearBus)
+	if s.Dir.Lookup(addr, true) {
+		s.hits.n++
+		return
+	}
+	s.misses.n++
+	s.fill(addr, true, start.Add(s.NearLat))
+}
+
+// Reset implements Backend.
+func (s *DRAMCacheStage) Reset() {
+	s.Dir.Reset()
+	for _, c := range s.NearChans {
+		c.Reset()
+	}
+	for _, c := range s.FarChans {
+		c.Reset()
+	}
+	s.hits.reset()
+	s.misses.reset()
+	s.fills.reset()
+	s.writebacks.reset()
+}
+
+// Instrument implements Backend, registering memtech.dram_cache.*: the
+// stage's access counters plus the near-cache directory's stats under
+// memtech.dram_cache.cache.*.
+func (s *DRAMCacheStage) Instrument(reg *obs.Registry) {
+	s.hits.instrument(reg, "memtech.dram_cache.hits")
+	s.misses.instrument(reg, "memtech.dram_cache.misses")
+	s.fills.instrument(reg, "memtech.dram_cache.fills")
+	s.writebacks.instrument(reg, "memtech.dram_cache.writebacks")
+	s.Dir.Instrument(reg, "memtech.dram_cache.cache")
+}
+
+// FlushObs implements Backend.
+func (s *DRAMCacheStage) FlushObs() {
+	s.hits.flush()
+	s.misses.flush()
+	s.fills.flush()
+	s.writebacks.flush()
+	s.Dir.FlushObs()
+}

@@ -161,9 +161,10 @@ func TestDRAMStageSkipsOnL3Hit(t *testing.T) {
 			mustCache(t, "t0", 4096), mustCache(t, "t1", 4096),
 			mustCache(t, "t2", 4096), mustCache(t, "t3", 4096),
 		},
-		Lat: 20, Mem: ctrl, Topo: topo, Env: env,
+		Lat: 20, Topo: topo, Env: env,
 	}
 	s := &DRAMStage{Ctrl: ctrl, Net: net, Topo: topo, L3: l3, Env: env}
+	l3.Mem = s
 
 	var r Request
 	r.Start(CPU, 0x40, 0x40, false, 0)

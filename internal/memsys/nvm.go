@@ -1,0 +1,115 @@
+package memsys
+
+import (
+	"heteromem/internal/clock"
+	"heteromem/internal/obs"
+)
+
+// NVMStage is the non-volatile-memory Backend: byte-addressable
+// persistent memory on the memory bus (Optane-class). The defining
+// asymmetry is latency: reads are several times slower than DRAM, and
+// writes are slower still, so the device hides them behind a bounded
+// write queue that drains serially. Reads proceed past queued writes —
+// until the queue fills, at which point an arriving read stalls while
+// the drain catches up. That read/write interference is the effect the
+// model exists to capture: write-heavy kernels see their *read* latency
+// collapse, which fixed-latency models miss entirely.
+type NVMStage struct {
+	// Chans are the per-channel bus resources; lines interleave across
+	// them and each transfer occupies its channel for Bus.
+	Chans    []*clock.Resource
+	ReadLat  clock.Duration
+	WriteLat clock.Duration
+	Bus      clock.Duration
+	// QueueDepth bounds the write queue: a read arriving when more than
+	// QueueDepth writes' worth of drain is pending stalls until the
+	// backlog shrinks below the bound.
+	QueueDepth int
+	Net        Interconnect
+	Topo       Topology
+	L3         *L3Stage
+	Env        *Env
+
+	// horizon is the time the serial write drain finishes everything
+	// queued so far; each write extends it by WriteLat.
+	horizon clock.Time
+
+	reads       backendCounter
+	writes      backendCounter
+	writeStalls backendCounter
+}
+
+// ID implements Stage; the terminal slot keeps the StageDRAM stamp so
+// request breakdowns stay comparable across backends.
+func (s *NVMStage) ID() StageID { return StageDRAM }
+
+// Process fetches the line from the device unless the L3 already served
+// it: hop to the memory-controller stop, admission past the write
+// queue, the channel transfer plus the media read, and the line's
+// return and install.
+func (s *NVMStage) Process(r *Request) Verdict {
+	if r.Flags&FlagL3Hit != 0 {
+		return Next
+	}
+	r.Flags |= FlagDRAM
+	tile := s.Topo.TileFor(r.Addr)
+	ts := s.Topo.TileStop(tile)
+	r.Now = s.Net.Send(ts, s.Topo.MCStop, s.Topo.ReqBytes, r.Now)
+	at := s.admit(r.Now)
+	ch := chanFor(r.Addr, s.Topo.LineBytes, len(s.Chans))
+	start, _ := s.Chans[ch].Acquire(at, s.Bus)
+	r.Now = start.Add(s.ReadLat)
+	s.Env.DRAMFills[r.PU]++
+	s.reads.n++
+	r.Now = s.Net.Send(s.Topo.MCStop, ts, s.Topo.LineBytes+s.Topo.ReqBytes, r.Now)
+	s.L3.Fill(tile, r.Addr, false, r.Write, r.Now)
+	return Next
+}
+
+// admit lets a read bypass queued writes unless the drain backlog
+// exceeds the queue bound, in which case the read waits until exactly
+// QueueDepth writes remain pending.
+func (s *NVMStage) admit(at clock.Time) clock.Time {
+	bound := uint64(s.QueueDepth) * uint64(s.WriteLat)
+	if uint64(s.horizon) > uint64(at)+bound {
+		s.writeStalls.n++
+		return clock.Time(uint64(s.horizon) - bound)
+	}
+	return at
+}
+
+// Writeback implements Backend: a dirty L3 victim transfers over its
+// channel and joins the serial write drain. The eviction is off the
+// requester's critical path; its cost surfaces as drain backlog that
+// later reads may stall on.
+func (s *NVMStage) Writeback(addr uint64, now clock.Time) {
+	ch := chanFor(addr, s.Topo.LineBytes, len(s.Chans))
+	start, _ := s.Chans[ch].Acquire(now, s.Bus)
+	s.horizon = clock.Max(s.horizon, start).Add(s.WriteLat)
+	s.writes.n++
+}
+
+// Reset implements Backend.
+func (s *NVMStage) Reset() {
+	for _, c := range s.Chans {
+		c.Reset()
+	}
+	s.horizon = 0
+	s.reads.reset()
+	s.writes.reset()
+	s.writeStalls.reset()
+}
+
+// Instrument implements Backend, registering memtech.nvm.*.
+func (s *NVMStage) Instrument(reg *obs.Registry) {
+	s.reads.instrument(reg, "memtech.nvm.reads")
+	s.writes.instrument(reg, "memtech.nvm.writes")
+	s.writeStalls.instrument(reg, "memtech.nvm.write_stalls")
+}
+
+// FlushObs implements Backend.
+func (s *NVMStage) FlushObs() {
+	s.reads.flush()
+	s.writes.flush()
+	s.writeStalls.flush()
+}

@@ -223,9 +223,11 @@ func (s *RingHopStage) Process(r *Request) Verdict {
 // consults the coherence directory, and looks the line up. The lookup
 // outcome is recorded in FlagL3Hit for the downstream DRAM stage.
 type L3Stage struct {
-	Tiles     []*cache.Cache
-	Lat       clock.Duration
-	Mem       *dram.Controller // victim writebacks
+	Tiles []*cache.Cache
+	Lat   clock.Duration
+	// Mem absorbs dirty victim writebacks; in production it is the
+	// hierarchy's terminal Backend.
+	Mem       Writebacker
 	Topo      Topology
 	Coherence *CoherenceStage
 	Env       *Env
@@ -246,24 +248,31 @@ func (s *L3Stage) Process(r *Request) Verdict {
 }
 
 // Fill installs a line into its L3 tile; a dirty victim is written back
-// to DRAM, occupying the controller but off the critical path.
+// to the terminal memory, occupying the backend but off the critical
+// path.
 func (s *L3Stage) Fill(tile int, addr uint64, explicit, dirty bool, now clock.Time) {
 	ev := s.Tiles[tile].Fill(addr, explicit, dirty)
 	if ev.Valid && ev.Dirty {
 		s.Env.writeback()
-		s.Mem.Submit(ev.Addr, now)
+		if s.Mem != nil {
+			s.Mem.Writeback(ev.Addr, now)
+		}
 	}
 }
 
 // DRAMStage serves L3 misses: the request hops from the home tile to
 // the memory-controller stop, accesses DRAM, and the line returns to
 // the home tile, where it is installed. L3 hits pass through untouched.
+// It is the baseline Backend (mem_tech: dram) — the refactor's
+// bit-identical correctness anchor.
 type DRAMStage struct {
 	Ctrl *dram.Controller
 	Net  Interconnect
 	Topo Topology
 	L3   *L3Stage
 	Env  *Env
+
+	accesses backendCounter
 }
 
 // ID implements Stage.
@@ -280,10 +289,30 @@ func (s *DRAMStage) Process(r *Request) Verdict {
 	r.Now = s.Net.Send(ts, s.Topo.MCStop, s.Topo.ReqBytes, r.Now)
 	r.Now = s.Ctrl.Submit(r.Addr, r.Now)
 	s.Env.DRAMFills[r.PU]++
+	s.accesses.n++
 	r.Now = s.Net.Send(s.Topo.MCStop, ts, s.Topo.LineBytes+s.Topo.ReqBytes, r.Now)
 	s.L3.Fill(tile, r.Addr, false, r.Write, r.Now)
 	return Next
 }
+
+// Writeback implements Backend: a dirty L3 victim occupies the
+// controller at now, off the critical path.
+func (s *DRAMStage) Writeback(addr uint64, now clock.Time) {
+	s.Ctrl.Submit(addr, now)
+}
+
+// Reset implements Backend. The DDR3 controller is a hierarchy-owned
+// substrate (the memory-controller fabric DMAs through it too), so the
+// hierarchy resets it; only the stage's own counters clear here.
+func (s *DRAMStage) Reset() { s.accesses.reset() }
+
+// Instrument implements Backend, registering memtech.dram.*.
+func (s *DRAMStage) Instrument(reg *obs.Registry) {
+	s.accesses.instrument(reg, "memtech.dram.accesses")
+}
+
+// FlushObs implements Backend.
+func (s *DRAMStage) FlushObs() { s.accesses.flush() }
 
 // CommitStage finishes a shared-path request: the line is installed
 // into the PU's private levels and the miss is registered in the MSHR

@@ -1,0 +1,136 @@
+package memtech
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range AllKinds() {
+		parsed, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", k.String(), err)
+		}
+		if parsed != k {
+			t.Errorf("Parse(%q) = %v, want %v", k.String(), parsed, k)
+		}
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", k, err)
+		}
+		var back Kind
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != k {
+			t.Errorf("text round trip of %v = %v", k, back)
+		}
+	}
+	if _, err := Parse("optane"); err == nil {
+		t.Error("Parse must reject unknown technologies")
+	}
+	if _, err := Kind(200).MarshalText(); err == nil {
+		t.Error("MarshalText must reject invalid kinds")
+	}
+}
+
+func TestSpecZero(t *testing.T) {
+	var s Spec
+	if !s.IsZero() {
+		t.Error("zero Spec must report IsZero")
+	}
+	if s.Kind != DRAM {
+		t.Error("zero Spec must select DRAM")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("zero Spec must validate: %v", err)
+	}
+	if (Spec{Kind: HBM}).IsZero() {
+		t.Error("non-DRAM Spec must not report IsZero")
+	}
+}
+
+// Validate errors must carry the JSON path of the offending field so a
+// CLI user can fix the file they wrote (the hetsim -system error
+// contract).
+func TestValidatePathErrors(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		path string
+	}{
+		{Spec{Kind: NumKinds}, "mem_tech.kind"},
+		{Spec{Kind: DRAM, HBM: &HBMParams{}}, "mem_tech.hbm"},
+		{Spec{Kind: HBM, NVM: &NVMParams{}}, "mem_tech.nvm"},
+		{Spec{Kind: NVM, DRAMCache: &DRAMCacheParams{}}, "mem_tech.dram_cache"},
+		{Spec{Kind: HBM, HBM: &HBMParams{Channels: -1}}, "mem_tech.hbm.channels"},
+		{Spec{Kind: HBM, HBM: &HBMParams{RowBytes: 32}}, "mem_tech.hbm.row_bytes"},
+		{Spec{Kind: NVM, NVM: &NVMParams{Channels: -2}}, "mem_tech.nvm.channels"},
+		{Spec{Kind: NVM, NVM: &NVMParams{WriteQueueDepth: -1}}, "mem_tech.nvm.write_queue_depth"},
+		{Spec{Kind: DRAMCache, DRAMCache: &DRAMCacheParams{Ways: -4}}, "mem_tech.dram_cache.ways"},
+		{Spec{Kind: DRAMCache, DRAMCache: &DRAMCacheParams{SizeBytes: 128}}, "mem_tech.dram_cache.size_bytes"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("spec %+v: want error naming %s, got nil", c.spec, c.path)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.path) {
+			t.Errorf("spec %+v: error %q does not name %s", c.spec, err, c.path)
+		}
+	}
+}
+
+func TestDefaultsMerge(t *testing.T) {
+	// A partially specified block keeps its overrides and fills the rest
+	// from the defaults.
+	s := Spec{Kind: HBM, HBM: &HBMParams{Channels: 32}}
+	h := s.ResolvedHBM()
+	if h.Channels != 32 {
+		t.Errorf("override lost: channels = %d", h.Channels)
+	}
+	if h.BanksPerChannel != DefaultHBM().BanksPerChannel || h.TBurstPS != DefaultHBM().TBurstPS {
+		t.Errorf("defaults not merged: %+v", h)
+	}
+
+	n := Spec{Kind: NVM, NVM: &NVMParams{WritePS: 2_000_000}}.ResolvedNVM()
+	if n.WritePS != 2_000_000 || n.ReadPS != DefaultNVM().ReadPS {
+		t.Errorf("nvm merge wrong: %+v", n)
+	}
+
+	d := Spec{Kind: DRAMCache}.ResolvedDRAMCache()
+	if d != DefaultDRAMCache() {
+		t.Errorf("nil block must resolve to defaults, got %+v", d)
+	}
+}
+
+func TestHBMDRAMConfigValid(t *testing.T) {
+	cfg := Spec{Kind: HBM}.ResolvedHBM().DRAMConfig(64)
+	if cfg.Channels != 16 || cfg.RowBytes != 2048 || cfg.LineBytes != 64 {
+		t.Errorf("unexpected HBM geometry: %+v", cfg)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	in := Spec{Kind: NVM, NVM: &NVMParams{ReadPS: 300_000, WriteQueueDepth: 8}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Spec
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != NVM || out.NVM == nil || *out.NVM != *in.NVM {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+	// The zero Spec serialises to just the kind.
+	data, err = json.Marshal(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"kind":"dram"}` {
+		t.Errorf("zero Spec JSON = %s", data)
+	}
+}

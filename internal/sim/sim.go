@@ -31,6 +31,9 @@ import (
 type Result struct {
 	System string
 	Kernel string
+	// MemTech names the terminal memory technology behind the L3
+	// (dram, hbm, nvm, dram-cache).
+	MemTech string
 
 	// The Figure 5 breakdown. Total = Sequential + Parallel + Communication.
 	Sequential    clock.Duration
@@ -180,6 +183,11 @@ func NewWithOptions(sys systems.System, opts Options) (*Simulator, error) {
 	memCfg := mem.TableII()
 	if opts.Hierarchy != nil {
 		memCfg = *opts.Hierarchy
+	}
+	if !sys.MemTech.IsZero() {
+		// The system's mem_tech axis selects the hierarchy's terminal
+		// backend; an explicit Hierarchy override may still pre-set it.
+		memCfg.Tech = sys.MemTech
 	}
 	hier, err := mem.New(memCfg)
 	if err != nil {
@@ -388,7 +396,7 @@ func (s *Simulator) allocate(p *workload.Program) error {
 
 // Run executes the program and returns its timing breakdown.
 func (s *Simulator) Run(p *workload.Program) (Result, error) {
-	res := Result{System: s.sys.Name, Kernel: p.Name}
+	res := Result{System: s.sys.Name, Kernel: p.Name, MemTech: s.hier.TechKind().String()}
 	if err := p.Validate(); err != nil {
 		return res, fmt.Errorf("sim: %w", err)
 	}

@@ -22,6 +22,7 @@ import (
 
 	"heteromem/internal/addrspace"
 	"heteromem/internal/config"
+	"heteromem/internal/memtech"
 	"heteromem/internal/model"
 )
 
@@ -34,6 +35,9 @@ type systemJSON struct {
 	Protocol              model.Kind      `json:"protocol"`
 	FaultGranularityBytes uint64          `json:"fault_granularity_bytes,omitempty"`
 	Params                json.RawMessage `json:"params,omitempty"`
+	// MemTech is a pointer so the baseline DRAM selection is omitted
+	// entirely, keeping pre-axis files and hashes byte-identical.
+	MemTech *memtech.Spec `json:"mem_tech,omitempty"`
 }
 
 // Save serialises the system as indented JSON, suitable for -system
@@ -46,14 +50,19 @@ func Save(s System) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("systems: %w", err)
 	}
-	out, err := json.MarshalIndent(systemJSON{
+	j := systemJSON{
 		Name:                  s.Name,
 		Model:                 s.Model,
 		Fabric:                s.Fabric,
 		Protocol:              s.Protocol,
 		FaultGranularityBytes: s.FaultGranularityBytes,
 		Params:                params,
-	}, "", "  ")
+	}
+	if !s.MemTech.IsZero() {
+		mt := s.MemTech
+		j.MemTech = &mt
+	}
+	out, err := json.MarshalIndent(j, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("systems: %w", err)
 	}
@@ -80,6 +89,9 @@ func Load(data []byte) (System, error) {
 		Protocol:              j.Protocol,
 		FaultGranularityBytes: j.FaultGranularityBytes,
 		Params:                params,
+	}
+	if j.MemTech != nil {
+		s.MemTech = *j.MemTech
 	}
 	if err := s.Validate(); err != nil {
 		return System{}, err

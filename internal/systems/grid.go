@@ -8,6 +8,7 @@ import (
 
 	"heteromem/internal/addrspace"
 	"heteromem/internal/config"
+	"heteromem/internal/memtech"
 	"heteromem/internal/model"
 )
 
@@ -27,6 +28,10 @@ type Grid struct {
 	// take faults — for other protocols nonzero granularities are
 	// incoherent points and are skipped rather than duplicated.
 	FaultGranularities []uint64
+	// MemTechs lists the terminal memory technologies to combine; empty
+	// means the DRAM baseline only (NOT all kinds — the axis multiplies
+	// every grid fourfold, so spanning it is opt-in).
+	MemTechs []memtech.Kind
 	// Params prices communication for every point; the zero value means
 	// Table IV.
 	Params config.CommParams
@@ -42,6 +47,7 @@ type gridJSON struct {
 	Fabrics            []FabricKind      `json:"fabrics,omitempty"`
 	Protocols          []model.Kind      `json:"protocols,omitempty"`
 	FaultGranularities []uint64          `json:"fault_granularities,omitempty"`
+	MemTechs           []memtech.Kind    `json:"mem_techs,omitempty"`
 	Params             json.RawMessage   `json:"params,omitempty"`
 	Kernels            []string          `json:"kernels,omitempty"`
 }
@@ -65,6 +71,7 @@ func LoadGrid(data []byte) (Grid, error) {
 		Fabrics:            j.Fabrics,
 		Protocols:          j.Protocols,
 		FaultGranularities: j.FaultGranularities,
+		MemTechs:           j.MemTechs,
 		Params:             params,
 		Kernels:            j.Kernels,
 	}, nil
@@ -106,6 +113,10 @@ func (g Grid) Enumerate() (points []System, skipped int) {
 	if len(granularities) == 0 {
 		granularities = []uint64{0}
 	}
+	techs := g.MemTechs
+	if len(techs) == 0 {
+		techs = []memtech.Kind{memtech.DRAM}
+	}
 	params := g.Params
 	if params == (config.CommParams{}) {
 		params = config.TableIV()
@@ -115,19 +126,26 @@ func (g Grid) Enumerate() (points []System, skipped int) {
 		for _, f := range fabrics {
 			for _, p := range protocols {
 				for _, gran := range granularities {
-					s := System{
-						Name:                  pointName(m, f, p, gran),
-						Model:                 m,
-						Fabric:                f,
-						Protocol:              p,
-						FaultGranularityBytes: gran,
-						Params:                params,
+					for _, tech := range techs {
+						s := System{
+							Name:                  pointName(m, f, p, gran, tech),
+							Model:                 m,
+							Fabric:                f,
+							Protocol:              p,
+							FaultGranularityBytes: gran,
+							Params:                params,
+						}
+						// The DRAM baseline keeps the zero Spec so its
+						// points name and hash exactly as before the axis.
+						if tech != memtech.DRAM {
+							s.MemTech = memtech.Spec{Kind: tech}
+						}
+						if s.Validate() != nil {
+							skipped++
+							continue
+						}
+						points = append(points, s)
 					}
-					if s.Validate() != nil {
-						skipped++
-						continue
-					}
-					points = append(points, s)
 				}
 			}
 		}
@@ -135,11 +153,16 @@ func (g Grid) Enumerate() (points []System, skipped int) {
 	return points, skipped
 }
 
-// pointName encodes a design point's axis coordinates.
-func pointName(m addrspace.Model, f FabricKind, p model.Kind, gran uint64) string {
+// pointName encodes a design point's axis coordinates. Baseline values
+// (whole-object granularity, DRAM) are elided so pre-axis names are
+// stable.
+func pointName(m addrspace.Model, f FabricKind, p model.Kind, gran uint64, tech memtech.Kind) string {
 	name := fmt.Sprintf("%v/%v/%v", m, f, p)
 	if gran > 0 {
 		name += fmt.Sprintf("/pg%d", gran)
+	}
+	if tech != memtech.DRAM {
+		name += "/" + tech.String()
 	}
 	return name
 }

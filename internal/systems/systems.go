@@ -17,6 +17,7 @@ import (
 	"heteromem/internal/comm"
 	"heteromem/internal/config"
 	"heteromem/internal/dram"
+	"heteromem/internal/memtech"
 	"heteromem/internal/model"
 )
 
@@ -107,6 +108,10 @@ type System struct {
 	FaultGranularityBytes uint64
 	// Params prices the special communication instructions (Table IV).
 	Params config.CommParams
+	// MemTech selects the terminal memory technology behind the shared
+	// L3 (the mem_tech design axis). The zero Spec is the paper's DDR3
+	// baseline, so existing system files and their hashes are unchanged.
+	MemTech memtech.Spec
 }
 
 // ErrIncoherent reports a system configuration whose axes contradict
@@ -142,6 +147,12 @@ func (s System) Validate() error {
 	if s.Protocol == model.ADSMLazy && s.Model != addrspace.ADSM {
 		return fmt.Errorf("system %q: %w: the adsm protocol needs the CPU to address device memory, which the %v model does not allow",
 			s.Name, ErrIncoherent, s.Model)
+	}
+	// Malformed mem_tech blocks are parameter errors, not axis
+	// contradictions, so they do not wrap ErrIncoherent; the memtech
+	// messages carry the JSON path of the offending field.
+	if err := s.MemTech.Validate(); err != nil {
+		return fmt.Errorf("system %q: %w", s.Name, err)
 	}
 	return nil
 }
@@ -239,6 +250,39 @@ func IdealHetero() System {
 // CaseStudies returns the five systems of Figure 5 in the paper's order.
 func CaseStudies() []System {
 	return []System{CPUGPU(), LRB(), GMAC(), Fusion(), IdealHetero()}
+}
+
+// CaseStudiesWithTech returns the five case studies re-terminated on the
+// given memory technology (default parameters), for re-running the
+// Figure 5 comparison across the mem_tech axis. Names are unchanged so
+// per-sweep reports normalise against the same baseline labels.
+func CaseStudiesWithTech(k memtech.Kind) []System {
+	out := CaseStudies()
+	if k == memtech.DRAM {
+		return out
+	}
+	for i := range out {
+		out[i].MemTech = memtech.Spec{Kind: k}
+	}
+	return out
+}
+
+// GraceHopper returns a Grace-Hopper-style preset: a unified address
+// space with hardware-coherent communication through the shared memory
+// controllers — no copies, no faults — terminated on an HBM-class
+// stack. It is the 2020s design point the 2012 paper's IDEAL-HETERO
+// anticipated, except that communication rides real shared memory
+// controllers rather than a free fabric, and the memory behind them is
+// HBM rather than DDR3.
+func GraceHopper() System {
+	return System{
+		Name:     "grace-hopper",
+		Model:    addrspace.Unified,
+		Fabric:   FabricMemCtrl,
+		Protocol: model.Ideal,
+		Params:   config.Ideal(),
+		MemTech:  memtech.Spec{Kind: memtech.HBM},
+	}
 }
 
 // ForModel returns a system exercising the given address-space model with
