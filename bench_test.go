@@ -55,6 +55,13 @@ func TestMain(m *testing.M) {
 		}
 		benchJSON = obs.NewBenchReport(date)
 		benchJSON.GoOS, benchJSON.GoArch = runtime.GOOS, runtime.GOARCH
+		// Record the runtime knobs so two reports are known to be
+		// comparable (CI pins both; see .github/workflows/ci.yml).
+		benchJSON.GoGC = os.Getenv("GOGC")
+		if benchJSON.GoGC == "" {
+			benchJSON.GoGC = "default"
+		}
+		benchJSON.GoMaxProcs = runtime.GOMAXPROCS(0)
 	}
 	code := m.Run()
 	if benchJSON != nil && len(benchJSON.Entries) > 0 {
@@ -123,6 +130,11 @@ func BenchmarkTable5SourceLines(b *testing.B) {
 // all six kernels.
 var figureKernels = harness.DefaultKernels()
 
+// caseStudyCells memoizes the Figure 5/6 sweep for the benches that only
+// render it. BenchmarkFigure5CaseStudies deliberately does NOT use it:
+// the headline bench re-runs the sweep every iteration so a -count=N
+// smoke yields N honest samples (a memoized second run would measure
+// rendering only and poison the best-of-N comparison in cmd/benchcmp).
 var caseStudyCells = sync.OnceValues(func() ([]harness.Cell, error) {
 	return harness.RunCaseStudies(figureKernels)
 })
@@ -133,7 +145,7 @@ func BenchmarkFigure5CaseStudies(b *testing.B) {
 	runtime.ReadMemStats(&before)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cells, err := caseStudyCells()
+		cells, err := harness.RunCaseStudies(figureKernels)
 		if err != nil {
 			b.Fatal(err)
 		}

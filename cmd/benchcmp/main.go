@@ -11,8 +11,13 @@
 // allocs/op — lower is better) the comparison fails if the new value
 // exceeds the old by more than the threshold (default 10%); movement
 // below the old value by more than the threshold is reported as an
-// improvement. Entries present in only one report are listed but never
-// fail the run, so adding or renaming benchmarks does not break CI. A
+// improvement. When a report carries multiple samples per entry (a
+// -count=N run), the comparison uses the best (minimum) sample on both
+// sides: the minimum of repeated runs is the least noise-contaminated
+// cost estimate, so one slow outlier sample no longer produces a false
+// regression. The median is shown alongside for context but never
+// gates. Entries present in only one report are listed but never fail
+// the run, so adding or renaming benchmarks does not break CI. A
 // missing baseline (-old unset or naming a file that does not exist)
 // prints a note and exits 0 — the first run of a branch has nothing to
 // compare against.
@@ -31,13 +36,6 @@ import (
 
 	"heteromem/internal/obs"
 )
-
-// costUnits are units where a larger value means worse performance.
-var costUnits = map[string]bool{
-	"ns/op":     true,
-	"B/op":      true,
-	"allocs/op": true,
-}
 
 func load(path string) (map[string]obs.BenchEntry, error) {
 	data, err := os.ReadFile(path)
@@ -58,13 +56,24 @@ func load(path string) (map[string]obs.BenchEntry, error) {
 // row is one comparison line, kept for both the text and markdown
 // renderings.
 type row struct {
-	status string // "ok", "improved", "REGRESSED", "new", "gone"
-	name   string
-	oldV   float64
-	newV   float64
-	unit   string
-	delta  float64 // relative change, valid for matched entries
-	match  bool    // both sides present
+	status  string // "ok", "improved", "REGRESSED", "new", "gone"
+	name    string
+	oldV    float64
+	newV    float64 // gating value: best-of-N for cost units
+	newMed  float64 // median of the new samples, context only
+	samples int     // sample count behind newV
+	unit    string
+	delta   float64 // relative change, valid for matched entries
+	match   bool    // both sides present
+}
+
+// gate returns the value an entry is compared on: the best (minimum)
+// sample for cost units, the headline value otherwise.
+func gate(e obs.BenchEntry) float64 {
+	if obs.CostUnit(e.Unit) {
+		return e.Min()
+	}
+	return e.Value
 }
 
 func main() {
@@ -111,27 +120,29 @@ func main() {
 	regressions, improvements := 0, 0
 	for _, name := range names {
 		ne := newE[name]
+		nv, nmed, nsamp := gate(ne), ne.Median(), len(ne.Samples)
 		oe, ok := oldE[name]
 		if !ok {
-			rows = append(rows, row{status: "new", name: name, newV: ne.Value, unit: ne.Unit})
+			rows = append(rows, row{status: "new", name: name, newV: nv, newMed: nmed, samples: nsamp, unit: ne.Unit})
 			continue
 		}
+		ov := gate(oe)
 		delta := 0.0
-		if oe.Value != 0 {
-			delta = (ne.Value - oe.Value) / oe.Value
+		if ov != 0 {
+			delta = (nv - ov) / ov
 		}
 		status := "ok"
-		if costUnits[ne.Unit] && oe.Value > 0 {
+		if obs.CostUnit(ne.Unit) && ov > 0 {
 			switch {
-			case ne.Value > oe.Value*(1+*threshold):
+			case nv > ov*(1+*threshold):
 				status = "REGRESSED"
 				regressions++
-			case ne.Value < oe.Value*(1-*threshold):
+			case nv < ov*(1-*threshold):
 				status = "improved"
 				improvements++
 			}
 		}
-		rows = append(rows, row{status: status, name: name, oldV: oe.Value, newV: ne.Value, unit: ne.Unit, delta: delta, match: true})
+		rows = append(rows, row{status: status, name: name, oldV: ov, newV: nv, newMed: nmed, samples: nsamp, unit: ne.Unit, delta: delta, match: true})
 	}
 	goneNames := make([]string, 0, len(oldE))
 	for name := range oldE {
@@ -142,7 +153,7 @@ func main() {
 	sort.Strings(goneNames)
 	for _, name := range goneNames {
 		oe := oldE[name]
-		rows = append(rows, row{status: "gone", name: name, oldV: oe.Value, unit: oe.Unit})
+		rows = append(rows, row{status: "gone", name: name, oldV: gate(oe), unit: oe.Unit})
 	}
 
 	for _, r := range rows {
@@ -153,8 +164,12 @@ func main() {
 			fmt.Printf("GONE   %-60s %14.1f %s\n", r.name, r.oldV, r.unit)
 		default:
 			tag := map[string]string{"ok": "ok    ", "improved": "IMPROV", "REGRESSED": "REGRES"}[r.status]
-			fmt.Printf("%s %-60s %14.1f -> %14.1f %s (%+.1f%%)\n",
-				tag, r.name, r.oldV, r.newV, r.unit, r.delta*100)
+			extra := ""
+			if r.samples > 1 {
+				extra = fmt.Sprintf(" [best of %d, median %.1f]", r.samples, r.newMed)
+			}
+			fmt.Printf("%s %-60s %14.1f -> %14.1f %s (%+.1f%%)%s\n",
+				tag, r.name, r.oldV, r.newV, r.unit, r.delta*100, extra)
 		}
 	}
 	if improvements > 0 {
@@ -177,7 +192,9 @@ func main() {
 
 // appendMarkdown appends the comparison as a markdown table, the format
 // GitHub renders from $GITHUB_STEP_SUMMARY (which is append-only: other
-// steps may have written their own sections).
+// steps may have written their own sections). The "new (min)" column is
+// the value the gate ran on; "median" shows the central tendency of the
+// same samples so a lucky minimum is visible as such.
 func appendMarkdown(path string, rows []row, regressions, improvements int, threshold float64) error {
 	var b strings.Builder
 	verdict := "✅ no regressions beyond threshold"
@@ -188,20 +205,24 @@ func appendMarkdown(path string, rows []row, regressions, improvements int, thre
 	if improvements > 0 {
 		fmt.Fprintf(&b, "; %d improved more than %.0f%%", improvements, threshold*100)
 	}
-	b.WriteString("\n\n| benchmark | old | new | unit | change | status |\n|---|--:|--:|---|--:|---|\n")
+	b.WriteString("\n\n| benchmark | old | new (min) | median | unit | change | status |\n|---|--:|--:|--:|---|--:|---|\n")
 	for _, r := range rows {
 		icon := map[string]string{
 			"ok": "", "improved": "🟢 improved", "REGRESSED": "🔴 regressed",
 			"new": "new", "gone": "gone",
 		}[r.status]
+		med := "—"
+		if r.samples > 1 {
+			med = fmt.Sprintf("%.1f (n=%d)", r.newMed, r.samples)
+		}
 		switch r.status {
 		case "new":
-			fmt.Fprintf(&b, "| %s | — | %.1f | %s | — | %s |\n", r.name, r.newV, r.unit, icon)
+			fmt.Fprintf(&b, "| %s | — | %.1f | %s | %s | — | %s |\n", r.name, r.newV, med, r.unit, icon)
 		case "gone":
-			fmt.Fprintf(&b, "| %s | %.1f | — | %s | — | %s |\n", r.name, r.oldV, r.unit, icon)
+			fmt.Fprintf(&b, "| %s | %.1f | — | — | %s | — | %s |\n", r.name, r.oldV, r.unit, icon)
 		default:
-			fmt.Fprintf(&b, "| %s | %.1f | %.1f | %s | %+.1f%% | %s |\n",
-				r.name, r.oldV, r.newV, r.unit, r.delta*100, icon)
+			fmt.Fprintf(&b, "| %s | %.1f | %.1f | %s | %s | %+.1f%% | %s |\n",
+				r.name, r.oldV, r.newV, med, r.unit, r.delta*100, icon)
 		}
 	}
 	b.WriteString("\n")

@@ -1,0 +1,143 @@
+package arena
+
+import "testing"
+
+func TestNilArenaFallsBackToMake(t *testing.T) {
+	s := Make[uint64](nil, 8)
+	if len(s) != 8 {
+		t.Fatalf("len = %d, want 8", len(s))
+	}
+	s[0] = 1 // must be writable
+}
+
+func TestMakeZeroesAndSeparates(t *testing.T) {
+	a := New()
+	x := Make[uint64](a, 4)
+	y := Make[uint64](a, 4)
+	for i := range x {
+		x[i] = 0xdead
+	}
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("y[%d] = %#x, want 0 (spans overlap?)", i, v)
+		}
+	}
+	// Capacity is clamped, so appends cannot bleed into the next span.
+	x = append(x, 0xbeef)
+	if y[0] != 0 {
+		t.Fatal("append to x overwrote y")
+	}
+}
+
+func TestResetReissuesZeroedMemory(t *testing.T) {
+	a := New()
+	x := Make[uint64](a, 16)
+	for i := range x {
+		x[i] = ^uint64(0)
+	}
+	before := a.Bytes()
+	a.Reset()
+	y := Make[uint64](a, 16)
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("recycled span not zeroed at %d: %#x", i, v)
+		}
+	}
+	if a.Bytes() != before {
+		t.Fatalf("reset+reuse grew the arena: %d -> %d bytes", before, a.Bytes())
+	}
+}
+
+func TestResetIsO1NoReallocation(t *testing.T) {
+	a := New()
+	// Fill several generations; after the first, steady-state reuse must
+	// not allocate new slabs.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 100; j++ {
+			Make[uint64](a, 100)
+		}
+		if i == 0 {
+			continue
+		}
+		before := a.Bytes()
+		a.Reset()
+		for j := 0; j < 100; j++ {
+			Make[uint64](a, 100)
+		}
+		if a.Bytes() != before {
+			t.Fatalf("generation %d grew the arena: %d -> %d", i, before, a.Bytes())
+		}
+		a.Reset()
+	}
+}
+
+func TestMixedTypesShareOneArena(t *testing.T) {
+	type rec struct{ a, b uint64 }
+	a := New()
+	u := Make[uint64](a, 10)
+	r := Make[rec](a, 10)
+	u[9] = 7
+	r[9] = rec{1, 2}
+	if u[9] != 7 || r[9] != (rec{1, 2}) {
+		t.Fatal("typed pools interfered")
+	}
+	if a.Bytes() == 0 {
+		t.Fatal("accounting missing")
+	}
+}
+
+func TestOversizedRequestGetsOwnSlab(t *testing.T) {
+	a := New()
+	big := Make[uint64](a, 3*slabMin)
+	if len(big) != 3*slabMin {
+		t.Fatalf("len = %d", len(big))
+	}
+	big[3*slabMin-1] = 1
+}
+
+func TestLargeRequestsExactFit(t *testing.T) {
+	// Requests at or above exactCut retain exactly their own footprint:
+	// no doubling past a replay ring or cache column, no matter how many
+	// arrive in sequence.
+	a := New()
+	const n = 4 * exactCut
+	for i := 0; i < 3; i++ {
+		before := a.Bytes()
+		s := Make[uint64](a, n)
+		if len(s) != n {
+			t.Fatalf("len = %d", len(s))
+		}
+		if got, want := a.Bytes()-before, uintptr(n)*8; got != want {
+			t.Fatalf("carve %d retained %d bytes, want exactly %d", i, got, want)
+		}
+	}
+}
+
+func TestBatchingSlabsCapped(t *testing.T) {
+	// Small carvings ride doubling slabs, but the doubling stops at
+	// slabCap: after a long run of small requests, the marginal retained
+	// footprint per request approaches its exact size.
+	a := New()
+	total := 0
+	for total < 16*slabCap {
+		Make[uint64](a, 64)
+		total += 64
+	}
+	// Worst case: every slab full except the last (≤ slabCap elements),
+	// plus the capped-geometry prefix (< 2*slabCap elements).
+	if max := uintptr(total+3*slabCap) * 8; a.Bytes() > max {
+		t.Fatalf("retained %d bytes for %d carved, cap implies ≤ %d", a.Bytes(), total*8, max)
+	}
+}
+
+func BenchmarkMakeSteadyState(b *testing.B) {
+	a := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 32; j++ {
+			Make[uint64](a, 256)
+		}
+		a.Reset()
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"heteromem/internal/arena"
 	"heteromem/internal/obs"
 )
 
@@ -52,7 +53,8 @@ type Config struct {
 	SizeBytes int
 	// LineBytes is the block size. Must be a power of two.
 	LineBytes int
-	// Ways is the associativity.
+	// Ways is the associativity. At most 64: per-set block state is kept
+	// in packed 64-bit masks.
 	Ways int
 	// Policy selects the replacement policy.
 	Policy Policy
@@ -70,6 +72,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("cache %s: line %d is not a positive power of two", c.Name, c.LineBytes)
 	case c.Ways <= 0:
 		return fmt.Errorf("cache %s: ways %d must be positive", c.Name, c.Ways)
+	case c.Ways > 64:
+		return fmt.Errorf("cache %s: ways %d exceeds the packed-state limit of 64", c.Name, c.Ways)
 	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
 		return fmt.Errorf("cache %s: size %d not divisible by ways*line %d", c.Name, c.SizeBytes, c.LineBytes*c.Ways)
 	case c.MaxExplicitWays < 0 || c.MaxExplicitWays > c.Ways:
@@ -78,14 +82,6 @@ func (c Config) validate() error {
 		return fmt.Errorf("cache %s: explicit ways must be smaller than associativity (paper constraint II-B5)", c.Name)
 	}
 	return nil
-}
-
-type block struct {
-	tag      uint64
-	valid    bool
-	dirty    bool
-	explicit bool
-	lastUse  uint64
 }
 
 // Eviction describes the result of a Fill: which block, if any, was
@@ -125,10 +121,26 @@ func (s Stats) HitRate() float64 {
 
 // Cache is a set-associative cache. It models tags and replacement state
 // only — the simulator never stores data, it only times accesses.
+//
+// Block metadata is stored structure-of-arrays: the tag and LRU arrays
+// are indexed [set*ways+way] and the single-bit states (valid, dirty,
+// explicit) are packed into one 64-bit mask per set. The set probe in
+// LookupWay walks only the tag array, way selection over the masks is
+// branch-free via bits.TrailingZeros64, and the recency array is touched
+// only on the hit it refreshes — a lookup no longer drags every block's
+// cold metadata through the host cache.
 type Cache struct {
-	cfg       Config
-	sets      [][]block
-	setShift  uint
+	cfg  Config
+	ways int
+	// tags and lastUse are indexed [set*ways+way].
+	tags    []uint64
+	lastUse []uint64
+	// valid, dirty and explicit hold one bit per way, one word per set.
+	valid    []uint64
+	dirty    []uint64
+	explicit []uint64
+	// waysMask has the low `ways` bits set.
+	waysMask  uint64
 	setMask   uint64
 	lineShift uint
 	tick      uint64
@@ -175,13 +187,26 @@ func (c *Cache) FlushObs() {
 
 // New returns a cache with the given configuration.
 func New(cfg Config) (*Cache, error) {
+	return NewIn(nil, cfg)
+}
+
+// NewIn is New with the metadata arrays carved from the arena (nil falls
+// back to the ordinary heap). Sweep workers build pooled simulators out
+// of one arena so construction batches into a few slab allocations.
+func NewIn(a *arena.Arena, cfg Config) (*Cache, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
 	c := &Cache{
 		cfg:       cfg,
-		sets:      make([][]block, numSets),
+		ways:      cfg.Ways,
+		tags:      arena.Make[uint64](a, numSets*cfg.Ways),
+		lastUse:   arena.Make[uint64](a, numSets*cfg.Ways),
+		valid:     arena.Make[uint64](a, numSets),
+		dirty:     arena.Make[uint64](a, numSets),
+		explicit:  arena.Make[uint64](a, numSets),
+		waysMask:  uint64(1)<<uint(cfg.Ways) - 1, // Ways == 64 wraps the shift to 0, so this is all-ones there too
 		setMask:   uint64(numSets - 1),
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		maxExpl:   cfg.MaxExplicitWays,
@@ -191,10 +216,6 @@ func New(cfg Config) (*Cache, error) {
 	}
 	if cfg.Policy == LRU {
 		c.maxExpl = cfg.Ways
-	}
-	blocks := make([]block, numSets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i], blocks = blocks[:cfg.Ways], blocks[cfg.Ways:]
 	}
 	return c, nil
 }
@@ -215,7 +236,7 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() Stats { return c.stats }
 
 // Sets returns the number of sets.
-func (c *Cache) Sets() int { return len(c.sets) }
+func (c *Cache) Sets() int { return len(c.valid) }
 
 // LineFor returns the base address of the line containing addr.
 func (c *Cache) LineFor(addr uint64) uint64 {
@@ -239,16 +260,22 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 func (c *Cache) LookupWay(addr uint64, write bool) int {
 	c.tick++
 	c.stats.Accesses++
-	set := c.sets[c.setIndex(addr)]
+	s := c.setIndex(addr)
 	tag := c.tagOf(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lastUse = c.tick
+	base := int(s) * c.ways
+	// Linear tag scan: invalid ways hold tag 0 (zeroed at reset, fill
+	// overwrite and invalidation), so a tag match is almost always a
+	// hit and the valid bit only breaks the tag-0 tie. The straight
+	// walk beats iterating the valid mask bit by bit on warm sets.
+	tags := c.tags[base : base+c.ways]
+	for w, t := range tags {
+		if t == tag && c.valid[s]&(1<<uint(w)) != 0 {
+			c.lastUse[base+w] = c.tick
 			if write {
-				set[i].dirty = true
+				c.dirty[s] |= 1 << uint(w)
 			}
 			c.stats.Hits++
-			return i
+			return w
 		}
 	}
 	c.stats.Misses++
@@ -262,19 +289,20 @@ func (c *Cache) LookupWay(addr uint64, write bool) int {
 // completely untouched and the caller falls back to Lookup. The tag
 // verification makes a stale memo safe, never wrong.
 func (c *Cache) HitWay(addr uint64, way int, write bool) bool {
-	set := c.sets[c.setIndex(addr)]
-	if uint(way) >= uint(len(set)) {
+	if uint(way) >= uint(c.ways) {
 		return false
 	}
-	b := &set[way]
-	if !b.valid || b.tag != c.tagOf(addr) {
+	s := c.setIndex(addr)
+	idx := int(s)*c.ways + way
+	bit := uint64(1) << uint(way)
+	if c.valid[s]&bit == 0 || c.tags[idx] != c.tagOf(addr) {
 		return false
 	}
 	c.tick++
 	c.stats.Accesses++
-	b.lastUse = c.tick
+	c.lastUse[idx] = c.tick
 	if write {
-		b.dirty = true
+		c.dirty[s] |= bit
 	}
 	c.stats.Hits++
 	return true
@@ -283,10 +311,11 @@ func (c *Cache) HitWay(addr uint64, way int, write bool) bool {
 // Probe reports whether the line containing addr is present without
 // disturbing replacement state or statistics.
 func (c *Cache) Probe(addr uint64) bool {
-	set := c.sets[c.setIndex(addr)]
+	s := c.setIndex(addr)
 	tag := c.tagOf(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := int(s) * c.ways
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == tag && c.valid[s]&(1<<uint(w)) != 0 {
 			return true
 		}
 	}
@@ -298,88 +327,106 @@ func (c *Cache) Probe(addr uint64) bool {
 // (e.g. a store miss under write-allocate). The returned Eviction
 // describes any displaced block or a bypass.
 func (c *Cache) Fill(addr uint64, explicit, dirty bool) Eviction {
+	ev, _ := c.FillWay(addr, explicit, dirty)
+	return ev
+}
+
+// FillWay is Fill, additionally reporting which way now holds the line
+// (-1 on a bypass) so callers can seed way memoizations at install time
+// instead of paying a set scan on the next access.
+func (c *Cache) FillWay(addr uint64, explicit, dirty bool) (Eviction, int) {
 	c.tick++
-	setIdx := c.setIndex(addr)
-	set := c.sets[setIdx]
+	s := c.setIndex(addr)
 	tag := c.tagOf(addr)
+	base := int(s) * c.ways
 
 	// Upgrade in place if already present (fill after racing lookups,
 	// or a push of resident data).
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lastUse = c.tick
-			set[i].explicit = set[i].explicit || explicit
-			set[i].dirty = set[i].dirty || dirty
-			return Eviction{}
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == tag && c.valid[s]&(1<<uint(w)) != 0 {
+			c.lastUse[base+w] = c.tick
+			bit := uint64(1) << uint(w)
+			if explicit {
+				c.explicit[s] |= bit
+			}
+			if dirty {
+				c.dirty[s] |= bit
+			}
+			return Eviction{}, w
 		}
 	}
 
-	victim := c.chooseVictim(set, explicit)
+	victim := c.chooseVictim(s, explicit)
 	if victim < 0 {
 		c.stats.Bypasses++
-		return Eviction{Bypassed: true}
+		return Eviction{Bypassed: true}, -1
 	}
+	bit := uint64(1) << uint(victim)
+	idx := base + victim
 	ev := Eviction{}
-	if set[victim].valid {
+	if c.valid[s]&bit != 0 {
 		ev = Eviction{
 			Valid:    true,
-			Addr:     set[victim].tag << c.lineShift,
-			Dirty:    set[victim].dirty,
-			Explicit: set[victim].explicit,
+			Addr:     c.tags[idx] << c.lineShift,
+			Dirty:    c.dirty[s]&bit != 0,
+			Explicit: c.explicit[s]&bit != 0,
 		}
 		c.stats.Evictions++
 		if ev.Dirty {
 			c.stats.Writebacks++
 		}
 	}
-	set[victim] = block{tag: tag, valid: true, dirty: dirty, explicit: explicit, lastUse: c.tick}
+	c.tags[idx] = tag
+	c.lastUse[idx] = c.tick
+	c.valid[s] |= bit
+	if dirty {
+		c.dirty[s] |= bit
+	} else {
+		c.dirty[s] &^= bit
+	}
+	if explicit {
+		c.explicit[s] |= bit
+	} else {
+		c.explicit[s] &^= bit
+	}
 	c.stats.Fills++
-	return ev
+	return ev, victim
 }
 
-// chooseVictim returns the way to replace, or -1 to bypass. Preference
-// order: any invalid way, then LRU among the ways this fill is allowed to
-// replace under the policy.
-func (c *Cache) chooseVictim(set []block, explicitFill bool) int {
-	for i := range set {
-		if !set[i].valid {
-			return i
-		}
+// chooseVictim returns the way to replace in set s, or -1 to bypass.
+// Preference order: the lowest invalid way, then LRU among the ways this
+// fill is allowed to replace under the policy. Eligibility is a bitmask,
+// so the policy cases reduce to mask algebra over the packed state.
+func (c *Cache) chooseVictim(s uint64, explicitFill bool) int {
+	if free := ^c.valid[s] & c.waysMask; free != 0 {
+		return bits.TrailingZeros64(free)
 	}
 	if c.cfg.Policy == LRU {
-		return lruAmong(set, func(block) bool { return true })
+		return c.lruAmong(s, c.waysMask)
 	}
 	if !explicitFill {
 		// Implicit fills may not displace explicit blocks (II-B5).
-		return lruAmong(set, func(b block) bool { return !b.explicit })
+		return c.lruAmong(s, ^c.explicit[s]&c.waysMask)
 	}
 	// Explicit fill: if the set already holds the maximum explicit
 	// footprint, replace the LRU explicit block so the cap is preserved;
 	// otherwise replace the global LRU.
-	if c.explicitCount(set) >= c.maxExpl {
-		return lruAmong(set, func(b block) bool { return b.explicit })
+	if bits.OnesCount64(c.valid[s]&c.explicit[s]) >= c.maxExpl {
+		return c.lruAmong(s, c.explicit[s]&c.waysMask)
 	}
-	return lruAmong(set, func(block) bool { return true })
+	return c.lruAmong(s, c.waysMask)
 }
 
-func (c *Cache) explicitCount(set []block) int {
-	n := 0
-	for i := range set {
-		if set[i].valid && set[i].explicit {
-			n++
-		}
-	}
-	return n
-}
-
-func lruAmong(set []block, eligible func(block) bool) int {
+// lruAmong returns the eligible way with the smallest lastUse (earliest
+// eligible way wins ties), or -1 when the mask is empty.
+func (c *Cache) lruAmong(s uint64, eligible uint64) int {
+	base := int(s) * c.ways
 	best := -1
-	for i := range set {
-		if !eligible(set[i]) {
-			continue
-		}
-		if best < 0 || set[i].lastUse < set[best].lastUse {
-			best = i
+	var bestUse uint64
+	for m := eligible; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if u := c.lastUse[base+w]; best < 0 || u < bestUse {
+			best, bestUse = w, u
 		}
 	}
 	return best
@@ -389,11 +436,11 @@ func lruAmong(set []block, eligible func(block) bool) int {
 // invalid, replacement state and statistics cleared. Instruments stay
 // wired. Used when a simulator is recycled between runs.
 func (c *Cache) Reset() {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			c.sets[s][i] = block{}
-		}
-	}
+	clear(c.tags)
+	clear(c.lastUse)
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.explicit)
 	c.tick = 0
 	c.stats = Stats{}
 	c.flushed = Stats{}
@@ -402,12 +449,19 @@ func (c *Cache) Reset() {
 // Invalidate removes the line containing addr if present, reporting
 // whether it was present and whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
-	set := c.sets[c.setIndex(addr)]
+	s := c.setIndex(addr)
 	tag := c.tagOf(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			d := set[i].dirty
-			set[i] = block{}
+	base := int(s) * c.ways
+	for m := c.valid[s]; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.tags[base+w] == tag {
+			bit := uint64(1) << uint(w)
+			d := c.dirty[s]&bit != 0
+			c.valid[s] &^= bit
+			c.dirty[s] &^= bit
+			c.explicit[s] &^= bit
+			c.tags[base+w] = 0
+			c.lastUse[base+w] = 0
 			return true, d
 		}
 	}
@@ -417,14 +471,14 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // FlushAll invalidates every block and returns the number of dirty lines
 // that would be written back.
 func (c *Cache) FlushAll() (writebacks int) {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].valid && c.sets[s][i].dirty {
-				writebacks++
-			}
-			c.sets[s][i] = block{}
-		}
+	for s := range c.valid {
+		writebacks += bits.OnesCount64(c.valid[s] & c.dirty[s])
 	}
+	clear(c.tags)
+	clear(c.lastUse)
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.explicit)
 	c.stats.Writebacks += uint64(writebacks)
 	return writebacks
 }
@@ -432,8 +486,8 @@ func (c *Cache) FlushAll() (writebacks int) {
 // ExplicitBlocks returns how many valid blocks are explicitly managed.
 func (c *Cache) ExplicitBlocks() int {
 	n := 0
-	for s := range c.sets {
-		n += c.explicitCount(c.sets[s])
+	for s := range c.valid {
+		n += bits.OnesCount64(c.valid[s] & c.explicit[s])
 	}
 	return n
 }
@@ -441,12 +495,8 @@ func (c *Cache) ExplicitBlocks() int {
 // ValidBlocks returns how many blocks are valid.
 func (c *Cache) ValidBlocks() int {
 	n := 0
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].valid {
-				n++
-			}
-		}
+	for _, v := range c.valid {
+		n += bits.OnesCount64(v)
 	}
 	return n
 }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"heteromem/internal/arena"
 	"heteromem/internal/clock"
 )
 
@@ -31,14 +32,22 @@ type MSHR struct {
 // Capacity zero or negative disables the structure (unlimited, no
 // merging), useful for idealised configurations.
 func NewMSHR(capacity int) *MSHR {
+	return NewMSHRIn(nil, capacity)
+}
+
+// NewMSHRIn is NewMSHR with the register file's parallel arrays carved
+// from the arena (nil falls back to the heap). An uncapped file (capacity
+// <= 0) that outgrows its initial registers escapes to the heap via
+// append, which is safe — only the batching is lost.
+func NewMSHRIn(a *arena.Arena, capacity int) *MSHR {
 	n := capacity
 	if n <= 0 {
 		n = 16
 	}
 	return &MSHR{
 		capacity: capacity,
-		lines:    make([]uint64, 0, n),
-		readys:   make([]clock.Time, 0, n),
+		lines:    arena.Make[uint64](a, n)[:0],
+		readys:   arena.Make[clock.Time](a, n)[:0],
 	}
 }
 

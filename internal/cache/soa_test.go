@@ -1,0 +1,378 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// aosCache is the pre-SoA array-of-structs implementation, kept verbatim
+// as the behavioural oracle for the packed-bitmask layout: every
+// operation below mirrors the original Cache method line for line, so a
+// divergence in the randomized equivalence test pins the exact operation
+// where the data-layout migration changed semantics.
+type aosBlock struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	explicit bool
+	lastUse  uint64
+}
+
+type aosCache struct {
+	cfg       Config
+	sets      [][]aosBlock
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+	stats     Stats
+	maxExpl   int
+}
+
+func newAOS(cfg Config) *aosCache {
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	c := &aosCache{
+		cfg:       cfg,
+		sets:      make([][]aosBlock, numSets),
+		setMask:   uint64(numSets - 1),
+		lineShift: lineShiftOf(cfg.LineBytes),
+		maxExpl:   cfg.MaxExplicitWays,
+	}
+	if c.maxExpl == 0 {
+		c.maxExpl = cfg.Ways - 1
+	}
+	if cfg.Policy == LRU {
+		c.maxExpl = cfg.Ways
+	}
+	blocks := make([]aosBlock, numSets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], blocks = blocks[:cfg.Ways], blocks[cfg.Ways:]
+	}
+	return c
+}
+
+func lineShiftOf(lineBytes int) uint {
+	s := uint(0)
+	for 1<<s < lineBytes {
+		s++
+	}
+	return s
+}
+
+func (c *aosCache) setIndex(addr uint64) uint64 { return (addr >> c.lineShift) & c.setMask }
+func (c *aosCache) tagOf(addr uint64) uint64    { return addr >> c.lineShift }
+
+func (c *aosCache) LookupWay(addr uint64, write bool) int {
+	c.tick++
+	c.stats.Accesses++
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return i
+		}
+	}
+	c.stats.Misses++
+	return -1
+}
+
+func (c *aosCache) HitWay(addr uint64, way int, write bool) bool {
+	set := c.sets[c.setIndex(addr)]
+	if uint(way) >= uint(len(set)) {
+		return false
+	}
+	b := &set[way]
+	if !b.valid || b.tag != c.tagOf(addr) {
+		return false
+	}
+	c.tick++
+	c.stats.Accesses++
+	b.lastUse = c.tick
+	if write {
+		b.dirty = true
+	}
+	c.stats.Hits++
+	return true
+}
+
+func (c *aosCache) Probe(addr uint64) bool {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *aosCache) Fill(addr uint64, explicit, dirty bool) Eviction {
+	c.tick++
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.tick
+			set[i].explicit = set[i].explicit || explicit
+			set[i].dirty = set[i].dirty || dirty
+			return Eviction{}
+		}
+	}
+	victim := c.chooseVictim(set, explicit)
+	if victim < 0 {
+		c.stats.Bypasses++
+		return Eviction{Bypassed: true}
+	}
+	ev := Eviction{}
+	if set[victim].valid {
+		ev = Eviction{
+			Valid:    true,
+			Addr:     set[victim].tag << c.lineShift,
+			Dirty:    set[victim].dirty,
+			Explicit: set[victim].explicit,
+		}
+		c.stats.Evictions++
+		if ev.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[victim] = aosBlock{tag: tag, valid: true, dirty: dirty, explicit: explicit, lastUse: c.tick}
+	c.stats.Fills++
+	return ev
+}
+
+func (c *aosCache) chooseVictim(set []aosBlock, explicitFill bool) int {
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	if c.cfg.Policy == LRU {
+		return aosLRUAmong(set, func(aosBlock) bool { return true })
+	}
+	if !explicitFill {
+		return aosLRUAmong(set, func(b aosBlock) bool { return !b.explicit })
+	}
+	if c.explicitCount(set) >= c.maxExpl {
+		return aosLRUAmong(set, func(b aosBlock) bool { return b.explicit })
+	}
+	return aosLRUAmong(set, func(aosBlock) bool { return true })
+}
+
+func (c *aosCache) explicitCount(set []aosBlock) int {
+	n := 0
+	for i := range set {
+		if set[i].valid && set[i].explicit {
+			n++
+		}
+	}
+	return n
+}
+
+func aosLRUAmong(set []aosBlock, eligible func(aosBlock) bool) int {
+	best := -1
+	for i := range set {
+		if !eligible(set[i]) {
+			continue
+		}
+		if best < 0 || set[i].lastUse < set[best].lastUse {
+			best = i
+		}
+	}
+	return best
+}
+
+func (c *aosCache) Invalidate(addr uint64) (present, dirty bool) {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			d := set[i].dirty
+			set[i] = aosBlock{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+func (c *aosCache) FlushAll() (writebacks int) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid && c.sets[s][i].dirty {
+				writebacks++
+			}
+			c.sets[s][i] = aosBlock{}
+		}
+	}
+	c.stats.Writebacks += uint64(writebacks)
+	return writebacks
+}
+
+func (c *aosCache) Reset() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i] = aosBlock{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
+func (c *aosCache) ExplicitBlocks() int {
+	n := 0
+	for s := range c.sets {
+		n += c.explicitCount(c.sets[s])
+	}
+	return n
+}
+
+func (c *aosCache) ValidBlocks() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestSoAMatchesAoSOracle drives the SoA cache and the AoS oracle
+// through long random operation sequences — lookups, memoized replays,
+// fills (implicit/explicit, clean/dirty), probes, invalidates, flushes
+// and resets — over a small cache (so sets conflict constantly) and
+// checks every return value, every Eviction field and the full Stats
+// after each step, for both policies and several explicit-way caps.
+func TestSoAMatchesAoSOracle(t *testing.T) {
+	configs := []Config{
+		{Name: "lru", SizeBytes: 4 << 10, LineBytes: 64, Ways: 4, Policy: LRU},
+		{Name: "la", SizeBytes: 4 << 10, LineBytes: 64, Ways: 4, Policy: LocalityAware},
+		{Name: "la-cap1", SizeBytes: 2 << 10, LineBytes: 64, Ways: 8, Policy: LocalityAware, MaxExplicitWays: 1},
+		{Name: "la-cap7", SizeBytes: 2 << 10, LineBytes: 64, Ways: 8, Policy: LocalityAware, MaxExplicitWays: 7},
+		{Name: "one-way", SizeBytes: 1 << 10, LineBytes: 64, Ways: 1, Policy: LRU},
+		{Name: "wide", SizeBytes: 64 << 10, LineBytes: 64, Ways: 32, Policy: LocalityAware},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0x5eed + int64(cfg.Ways)))
+			soa := MustNew(cfg)
+			aos := newAOS(cfg)
+			// Few distinct lines so sets overflow and every victim path runs.
+			lines := 4 * cfg.SizeBytes / cfg.LineBytes / cfg.Ways * cfg.Ways
+			addr := func() uint64 {
+				return uint64(rng.Intn(lines))*uint64(cfg.LineBytes) + uint64(rng.Intn(cfg.LineBytes))
+			}
+			lastWay := -1
+			lastAddr := uint64(0)
+			for step := 0; step < 200_000; step++ {
+				op := rng.Intn(100)
+				switch {
+				case op < 45: // lookup
+					a, w := addr(), rng.Intn(2) == 0
+					gw, ww := soa.LookupWay(a, w), aos.LookupWay(a, w)
+					if gw != ww {
+						t.Fatalf("step %d: LookupWay(%#x,%v) = %d, oracle %d", step, a, w, gw, ww)
+					}
+					if gw >= 0 {
+						lastWay, lastAddr = gw, a
+					}
+				case op < 55: // memoized replay, sometimes deliberately stale
+					if lastWay < 0 {
+						continue
+					}
+					a := lastAddr
+					if rng.Intn(4) == 0 {
+						a = addr()
+					}
+					w := rng.Intn(2) == 0
+					way := lastWay
+					if rng.Intn(8) == 0 {
+						way = rng.Intn(cfg.Ways + 2)
+					}
+					if g, o := soa.HitWay(a, way, w), aos.HitWay(a, way, w); g != o {
+						t.Fatalf("step %d: HitWay(%#x,%d,%v) = %v, oracle %v", step, a, way, w, g, o)
+					}
+				case op < 85: // fill
+					a, ex, dr := addr(), rng.Intn(3) == 0, rng.Intn(3) == 0
+					gev, gw := soa.FillWay(a, ex, dr)
+					oev := aos.Fill(a, ex, dr)
+					if gev != oev {
+						t.Fatalf("step %d: Fill(%#x,%v,%v) = %+v, oracle %+v", step, a, ex, dr, gev, oev)
+					}
+					// FillWay's way report: -1 exactly on bypass, and the
+					// reported way must actually hold the line.
+					if (gw < 0) != gev.Bypassed {
+						t.Fatalf("step %d: FillWay(%#x) way %d with eviction %+v", step, a, gw, gev)
+					}
+					if gw >= 0 && !soa.Probe(a) {
+						t.Fatalf("step %d: FillWay(%#x) reported way %d but line absent", step, a, gw)
+					}
+				case op < 90: // probe
+					a := addr()
+					if g, o := soa.Probe(a), aos.Probe(a); g != o {
+						t.Fatalf("step %d: Probe(%#x) = %v, oracle %v", step, a, g, o)
+					}
+				case op < 96: // invalidate
+					a := addr()
+					gp, gd := soa.Invalidate(a)
+					op2, od := aos.Invalidate(a)
+					if gp != op2 || gd != od {
+						t.Fatalf("step %d: Invalidate(%#x) = (%v,%v), oracle (%v,%v)", step, a, gp, gd, op2, od)
+					}
+				case op < 99: // flush
+					if g, o := soa.FlushAll(), aos.FlushAll(); g != o {
+						t.Fatalf("step %d: FlushAll = %d, oracle %d", step, g, o)
+					}
+					lastWay = -1
+				default: // reset
+					soa.Reset()
+					aos.Reset()
+					lastWay = -1
+				}
+				if soa.Stats() != aos.stats {
+					t.Fatalf("step %d: stats diverged: %+v vs oracle %+v", step, soa.Stats(), aos.stats)
+				}
+				if step%1024 == 0 {
+					if g, o := soa.ValidBlocks(), aos.ValidBlocks(); g != o {
+						t.Fatalf("step %d: ValidBlocks %d vs %d", step, g, o)
+					}
+					if g, o := soa.ExplicitBlocks(), aos.ExplicitBlocks(); g != o {
+						t.Fatalf("step %d: ExplicitBlocks %d vs %d", step, g, o)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWaysLimit pins the packed-state associativity bound: 64 ways is
+// the densest legal geometry, 65 must be rejected at validation.
+func TestWaysLimit(t *testing.T) {
+	ok := Config{Name: "w64", SizeBytes: 64 * 64 * 64, LineBytes: 64, Ways: 64, Policy: LRU}
+	c, err := New(ok)
+	if err != nil {
+		t.Fatalf("64 ways rejected: %v", err)
+	}
+	// All 64 ways of one set must be usable.
+	for i := 0; i < 64; i++ {
+		c.Fill(uint64(i)*64*64, false, false)
+	}
+	if got := c.ValidBlocks(); got != 64 {
+		t.Fatalf("filled %d of 64 ways", got)
+	}
+	if ev := c.Fill(64*64*64, false, false); !ev.Valid {
+		t.Fatal("65th fill into a full 64-way set did not evict")
+	}
+	bad := ok
+	bad.Ways = 65
+	bad.SizeBytes = 65 * 64 * 64
+	if _, err := New(bad); err == nil {
+		t.Fatal("65 ways accepted")
+	}
+}

@@ -370,6 +370,43 @@ func TestEngineSteadyStateScheduleAllocFree(t *testing.T) {
 	}
 }
 
+func TestEngineFreePoolBounded(t *testing.T) {
+	// A spike that fans events out over many distinct timestamps must not
+	// pin its high-water mark of buckets in the free pool: the pool is
+	// capped so the garbage collector reclaims the excess, and the engine
+	// keeps working normally afterwards.
+	e := NewEngine()
+	const spike = 10 * maxFreeBuckets
+	for j := 0; j < spike; j++ {
+		e.Schedule(Time(j), func(Time) {})
+	}
+	e.Run() // drains (and recycles) one bucket per distinct timestamp
+	if n := len(e.free); n > maxFreeBuckets {
+		t.Fatalf("free pool holds %d buckets after spike, cap is %d", n, maxFreeBuckets)
+	}
+	// Reset of a populated queue recycles through the same cap.
+	for j := 0; j < spike; j++ {
+		e.Schedule(e.Now().Add(Duration(j)), func(Time) {})
+	}
+	e.Reset()
+	if n := len(e.free); n > maxFreeBuckets {
+		t.Fatalf("free pool holds %d buckets after reset, cap is %d", n, maxFreeBuckets)
+	}
+	// Steady state after the spike: recurring timestamps still recycle
+	// allocation-free out of the bounded pool.
+	fn := func(Time) {}
+	cycle := func() {
+		for j := 0; j < 64; j++ {
+			e.Schedule(e.Now().Add(Duration(j%7)), fn)
+		}
+		e.Run()
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(20, cycle); allocs > 2 {
+		t.Fatalf("post-spike steady state allocates %.1f times per cycle", allocs)
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()

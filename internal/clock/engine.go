@@ -144,9 +144,21 @@ func (e *Engine) Reset() {
 	e.processed = 0
 }
 
+// maxFreeBuckets bounds the drained-bucket pool. Steady-state simulation
+// touches only a handful of distinct timestamps at once, so a small pool
+// already gives a 100% recycle hit rate; without the cap, one workload
+// spike that fans out over many distinct timestamps (or a Reset of a
+// deep queue) would pin that high-water mark of buckets — and their fns
+// backing arrays — for the engine's whole remaining lifetime.
+const maxFreeBuckets = 64
+
 // recycle returns a bucket to the pool, dropping its event references so
-// completed closures can be collected.
+// completed closures can be collected. Beyond maxFreeBuckets the bucket
+// is released to the garbage collector instead.
 func (e *Engine) recycle(b *bucket) {
+	if len(e.free) >= maxFreeBuckets {
+		return
+	}
 	clear(b.fns)
 	b.fns = b.fns[:0]
 	b.next = 0

@@ -12,6 +12,7 @@
 package cpu
 
 import (
+	"heteromem/internal/arena"
 	"heteromem/internal/clock"
 	"heteromem/internal/config"
 	"heteromem/internal/isa"
@@ -102,11 +103,18 @@ func (c *Core) Instrument(reg *obs.Registry) {
 const ringSize = 1 << 16
 
 // srcBatch is the lookahead batch size pulled from the trace source.
-const srcBatch = 64
+const srcBatch = 256
 
 // New returns a core with the given configuration bound to a memory
 // system and communication cost model.
 func New(cfg config.CoreConfig, memory Memory, comm CommCoster) *Core {
+	return NewIn(nil, cfg, memory, comm)
+}
+
+// NewIn is New with the completion rings and trace lookahead buffer
+// carved from the arena (nil falls back to the heap); the core keeps no
+// reference to the arena.
+func NewIn(a *arena.Arena, cfg config.CoreConfig, memory Memory, comm CommCoster) *Core {
 	if cfg.IssueWidth <= 0 {
 		cfg.IssueWidth = 1
 	}
@@ -120,9 +128,9 @@ func New(cfg config.CoreConfig, memory Memory, comm CommCoster) *Core {
 		cycle:  dom.PeriodPS(),
 		memory: memory,
 		comm:   comm,
-		comp:   make([]clock.Time, ringSize),
-		retire: make([]clock.Time, ringSize),
-		srcBuf: make([]trace.Inst, srcBatch),
+		comp:   arena.Make[clock.Time](a, ringSize),
+		retire: arena.Make[clock.Time](a, ringSize),
+		srcBuf: arena.Make[trace.Inst](a, srcBatch),
 	}
 	if cfg.PredictorTableBits > 0 {
 		c.pred = bpred.NewGshare(cfg.PredictorTableBits, cfg.PredictorHistoryBits)

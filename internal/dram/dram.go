@@ -159,7 +159,12 @@ type Controller struct {
 	// pendBuf holds the not-yet-scheduled request indices, chBuf/bkBuf/
 	// rowBuf the per-request address decomposition (computed once per
 	// request instead of once per scheduling step), reqBuf the synthetic
-	// request list of a block transfer.
+	// request list of a block transfer. The decomposition deliberately
+	// lives in parallel arrays (struct-of-arrays, like the cache line
+	// metadata and the MSHR file) rather than a []struct: the FR-FCFS
+	// inner loop scans only the channel/bank columns when hunting for a
+	// row hit, so the packed int32 columns keep that scan inside a couple
+	// of cache lines per 16 pending requests.
 	pendBuf []int
 	chBuf   []int32
 	bkBuf   []int32

@@ -11,6 +11,7 @@
 package gpu
 
 import (
+	"heteromem/internal/arena"
 	"heteromem/internal/cache"
 	"heteromem/internal/clock"
 	"heteromem/internal/config"
@@ -101,7 +102,7 @@ func (c *Core) Instrument(reg *obs.Registry) {
 const ringSize = 1 << 16
 
 // srcBatch is the lookahead batch size pulled from the trace source.
-const srcBatch = 64
+const srcBatch = 256
 
 // LineBytes is the coalescing granularity, matching the hierarchy's
 // 64-byte lines.
@@ -110,6 +111,13 @@ const LineBytes = 64
 // New returns a core bound to a memory system, communication cost model,
 // and software-managed-cache latency.
 func New(cfg config.CoreConfig, memory Memory, comm CommCoster, swLat clock.Duration) *Core {
+	return NewIn(nil, cfg, memory, comm, swLat)
+}
+
+// NewIn is New with the completion ring and trace lookahead buffer
+// carved from the arena (nil falls back to the heap); the core keeps no
+// reference to the arena.
+func NewIn(a *arena.Arena, cfg config.CoreConfig, memory Memory, comm CommCoster, swLat clock.Duration) *Core {
 	if cfg.SIMDWidth <= 0 {
 		cfg.SIMDWidth = 8
 	}
@@ -122,8 +130,8 @@ func New(cfg config.CoreConfig, memory Memory, comm CommCoster, swLat clock.Dura
 		comm:     comm,
 		swLat:    swLat,
 		Coalesce: true,
-		comp:     make([]clock.Time, ringSize),
-		srcBuf:   make([]trace.Inst, srcBatch),
+		comp:     arena.Make[clock.Time](a, ringSize),
+		srcBuf:   arena.Make[trace.Inst](a, srcBatch),
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"heteromem/internal/addrspace"
+	"heteromem/internal/arena"
 	"heteromem/internal/clock"
 	"heteromem/internal/codegen"
 	"heteromem/internal/config"
@@ -135,7 +136,12 @@ func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell
 		go func(w int) {
 			defer wg.Done()
 			// One pooled simulator per system, created on first use and
-			// Reset between this worker's cells.
+			// Reset between this worker's cells. Construction metadata
+			// (cache arrays, MSHR files, core rings) comes out of one
+			// per-worker arena, so building the pool costs a handful of
+			// slab allocations; the arena is dropped with the pool when
+			// the worker exits and is never Reset while the pool lives.
+			ar := arena.New()
 			sims := make([]*sim.Simulator, len(sysList))
 			if obsv == nil {
 				// Uninstrumented worker loop, kept separate from the
@@ -147,7 +153,7 @@ func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell
 					s := sims[j.si]
 					if s == nil {
 						var err error
-						if s, err = sim.New(sys); err != nil {
+						if s, err = sim.NewWithOptions(sys, sim.Options{Arena: ar}); err != nil {
 							errs[idx] = fmt.Errorf("%s on %s: %w", p.Name, sys.Name, err)
 							continue
 						}
@@ -186,7 +192,7 @@ func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell
 				if s == nil {
 					var err error
 					s, err = sim.NewWithOptions(sys, sim.Options{
-						Metrics: reg, HostProf: hp, Sampler: sampler,
+						Metrics: reg, HostProf: hp, Sampler: sampler, Arena: ar,
 					})
 					if err != nil {
 						errs[idx] = fmt.Errorf("%s on %s: %w", p.Name, sys.Name, err)

@@ -27,8 +27,8 @@ func TestMemoHitMatchesL1Latency(t *testing.T) {
 	const addr = 0x4000
 	h, now := fastH(t, addr)
 	slot := h.memoSlotFor(CPU, addr)
-	if slot.gen != h.gen || slot.line != h.topo.Line(addr) {
-		t.Fatalf("L1 hit did not install a live memo slot: slot %+v, gen %d", *slot, h.gen)
+	if slot.gen != h.gen[CPU] || slot.line != h.topo.Line(addr) {
+		t.Fatalf("L1 hit did not install a live memo slot: slot %+v, gen %d", *slot, h.gen[CPU])
 	}
 	// The memoized access must cost exactly the L1 latency, like any
 	// other L1 hit.
@@ -46,7 +46,7 @@ func TestMemoHitMatchesL1Latency(t *testing.T) {
 func TestMemoInvalidatedOnEviction(t *testing.T) {
 	const addr = 0x0
 	h, now := fastH(t, addr)
-	gen := h.gen
+	gen := h.gen[CPU]
 	// Fill the line's set with conflicting lines (same set index every
 	// 4 KB in the 64-set, 8-way L1) until the memoized line is evicted.
 	cfg := h.Config().CPUL1D
@@ -54,11 +54,14 @@ func TestMemoInvalidatedOnEviction(t *testing.T) {
 	for k := 1; k <= cfg.Ways; k++ {
 		now = h.Access(CPU, addr+uint64(k)*setStride, false, now)
 	}
-	if h.gen == gen {
+	if h.gen[CPU] == gen {
 		t.Fatal("misses did not advance the generation")
 	}
-	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen {
-		t.Fatal("memo slot still live after the line's set was overrun")
+	// Memo-on-fill may have re-populated the slot with one of the
+	// conflicting lines; what must not survive is a live mapping for the
+	// evicted line itself.
+	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen[CPU] && slot.line == h.topo.Line(addr) {
+		t.Fatal("memo slot still live for the evicted line after its set was overrun")
 	}
 	d := h.Access(CPU, addr, false, now)
 	if d.Sub(now) <= h.Config().CPUL1DLat {
@@ -66,16 +69,46 @@ func TestMemoInvalidatedOnEviction(t *testing.T) {
 	}
 }
 
-func TestMemoInvalidatedOnPush(t *testing.T) {
+// TestMemoSurvivesSharedPush pins the per-PU generation refinement: an
+// explicit placement into the shared L3 never touches a private L1, so
+// it must NOT kill the pushing PU's memo — the next same-line access
+// still rides the fast path at exact L1-hit cost.
+func TestMemoSurvivesSharedPush(t *testing.T) {
 	const addr = 0x8000
 	h, now := fastH(t, addr)
-	gen := h.gen
-	h.Push(CPU, 0x100000, 4096, LevelShared, now)
-	if h.gen == gen {
-		t.Fatal("push did not advance the generation")
+	gen := h.gen[CPU]
+	now = h.Push(CPU, 0x100000, 4096, LevelShared, now)
+	if h.gen[CPU] != gen {
+		t.Fatal("shared push advanced the CPU generation despite leaving its L1 untouched")
 	}
-	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen {
-		t.Fatal("memo slot survived an explicit placement")
+	if slot := h.memoSlotFor(CPU, addr); slot.gen != h.gen[CPU] {
+		t.Fatal("memo slot did not survive a shared-level placement")
+	}
+	d := h.Access(CPU, addr, false, now)
+	if got, want := d.Sub(now), h.Config().CPUL1DLat; got != want {
+		t.Fatalf("post-push memo hit took %v, want L1 latency %v", got, want)
+	}
+}
+
+// TestMemoCrossPUIsolation pins the other half of the refinement: one
+// PU's misses must not invalidate the other PU's memo.
+func TestMemoCrossPUIsolation(t *testing.T) {
+	const addr = 0x8000
+	h, now := fastH(t, addr)
+	gen := h.gen[CPU]
+	// A GPU miss storm mutates only GPU-side private state.
+	for k := 0; k < 64; k++ {
+		now = h.Access(GPU, 0x400000+uint64(k)*4096, false, now)
+	}
+	if h.gen[CPU] != gen {
+		t.Fatal("GPU misses advanced the CPU generation")
+	}
+	if slot := h.memoSlotFor(CPU, addr); slot.gen != h.gen[CPU] {
+		t.Fatal("CPU memo slot died under GPU-only traffic")
+	}
+	d := h.Access(CPU, addr, false, now)
+	if got, want := d.Sub(now), h.Config().CPUL1DLat; got != want {
+		t.Fatalf("memo hit after GPU traffic took %v, want L1 latency %v", got, want)
 	}
 }
 
@@ -83,7 +116,7 @@ func TestMemoInvalidatedOnFlush(t *testing.T) {
 	const addr = 0xC000
 	h, now := fastH(t, addr)
 	h.FlushPrivate(CPU)
-	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen {
+	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen[CPU] {
 		t.Fatal("memo slot survived a private-cache flush")
 	}
 	d := h.Access(CPU, addr, false, now)
@@ -100,14 +133,14 @@ func TestMemoInvalidatedOnCoherenceInvalidation(t *testing.T) {
 	// CPU reads twice so the line is both resident and memoized.
 	now := h.Access(CPU, addr, false, 0)
 	now = h.Access(CPU, addr, false, now)
-	gen := h.gen
+	gen := h.gen[CPU]
 	// The GPU's write recalls the CPU's copy; the memo must go stale
 	// with it, and the CPU's next read must miss.
 	now = h.Access(GPU, addr, true, now)
-	if h.gen == gen {
-		t.Fatal("remote invalidation did not advance the generation")
+	if h.gen[CPU] == gen {
+		t.Fatal("remote invalidation did not advance the victim's generation")
 	}
-	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen {
+	if slot := h.memoSlotFor(CPU, addr); slot.gen == h.gen[CPU] {
 		t.Fatal("memo slot survived a cross-PU invalidation")
 	}
 	d := h.Access(CPU, addr, false, now)
@@ -120,8 +153,8 @@ func TestMemoResetClearsSlots(t *testing.T) {
 	const addr = 0x4000
 	h, _ := fastH(t, addr)
 	h.Reset()
-	if h.gen != 1 {
-		t.Fatalf("reset generation = %d, want 1", h.gen)
+	if h.gen[CPU] != 1 || h.gen[GPU] != 1 {
+		t.Fatalf("reset generations = %v, want all 1", h.gen)
 	}
 	if slot := h.memoSlotFor(CPU, addr); *slot != (memoSlot{}) {
 		t.Fatalf("reset left memo slot %+v", *slot)

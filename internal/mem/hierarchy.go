@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"heteromem/internal/arena"
 	"heteromem/internal/cache"
 	"heteromem/internal/clock"
 	"heteromem/internal/coherence"
@@ -245,14 +246,17 @@ type Hierarchy struct {
 
 	// Fast-path state. l1/l1Lat mirror the private stages' first level
 	// so an L1 hit is served without touching the stage chain; memo is
-	// the per-PU direct-mapped filter of recently-hit lines; gen is the
-	// hierarchy-wide generation that invalidates it, bumped on every
-	// state-mutating event (miss, push, flush, coherence invalidation).
+	// the per-PU direct-mapped filter of recently-hit lines; gen holds
+	// one generation per PU, bumped whenever that PU's private caches
+	// mutate (its own miss or flush, or a coherence recall of its
+	// copy), so one PU's traffic no longer wipes the other PU's memo.
+	// The generation is purely a liveness filter: a live slot's way is
+	// still tag-verified (cache.HitWay) before it is trusted.
 	l1        [NumPUs]*cache.Cache
 	l1Lat     [NumPUs]clock.Duration
 	lineShift uint
 	memo      [NumPUs]lineMemo
-	gen       uint64
+	gen       [memsys.NumPUs]uint64
 
 	stats Stats // access/push counts; event counts live in env
 	obs   hierObs
@@ -347,25 +351,35 @@ func (h *Hierarchy) InstrumentHost(p *obs.HostProf) {
 
 // New assembles a hierarchy from cfg.
 func New(cfg Config) (*Hierarchy, error) {
+	return NewIn(nil, cfg)
+}
+
+// NewIn is New with the hierarchy's cache metadata arrays and MSHR files
+// carved from the arena (nil falls back to the heap). The arena is used
+// only during construction — the hierarchy keeps no reference to it — so
+// the caller decides the lifecycle: a sweep worker builds its pooled
+// simulators out of one arena and drops or resets it wholesale when the
+// pool retires.
+func NewIn(a *arena.Arena, cfg Config) (*Hierarchy, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	h := &Hierarchy{cfg: cfg}
 	var err error
-	if h.cpuL1d, err = cache.New(cfg.CPUL1D); err != nil {
+	if h.cpuL1d, err = cache.NewIn(a, cfg.CPUL1D); err != nil {
 		return nil, err
 	}
-	if h.cpuL2, err = cache.New(cfg.CPUL2); err != nil {
+	if h.cpuL2, err = cache.NewIn(a, cfg.CPUL2); err != nil {
 		return nil, err
 	}
-	if h.gpuL1d, err = cache.New(cfg.GPUL1D); err != nil {
+	if h.gpuL1d, err = cache.NewIn(a, cfg.GPUL1D); err != nil {
 		return nil, err
 	}
 	h.l3 = make([]*cache.Cache, cfg.L3Tiles)
 	for i := range h.l3 {
 		tileCfg := cfg.L3Tile
 		tileCfg.Name = fmt.Sprintf("l3.t%d", i)
-		if h.l3[i], err = cache.New(tileCfg); err != nil {
+		if h.l3[i], err = cache.NewIn(a, tileCfg); err != nil {
 			return nil, err
 		}
 	}
@@ -376,7 +390,7 @@ func New(cfg Config) (*Hierarchy, error) {
 		return nil, err
 	}
 	for p := PU(0); p < NumPUs; p++ {
-		h.mshr[p] = cache.NewMSHR(cfg.MSHRsPerPU)
+		h.mshr[p] = cache.NewMSHRIn(a, cfg.MSHRsPerPU)
 	}
 	h.scratch = cache.NewScratchpad("gpu.sw", cfg.SWCacheBytes)
 	if cfg.Coherence == CoherenceDirectory {
@@ -385,7 +399,9 @@ func New(cfg Config) (*Hierarchy, error) {
 			return nil, err
 		}
 	}
-	h.gen = 1 // zero-valued memo slots must never match
+	for p := range h.gen {
+		h.gen[p] = 1 // zero-valued memo slots must never match
+	}
 	if err := h.buildPipelines(); err != nil {
 		return nil, err
 	}
@@ -405,7 +421,7 @@ func (h *Hierarchy) buildPipelines() error {
 		Tiles:     cfg.L3Tiles,
 		LineBytes: cfg.L3Tile.LineBytes,
 		ReqBytes:  16,
-	}
+	}.Derive()
 	coh := &memsys.CoherenceStage{
 		Dir:  h.dir,
 		Net:  h.ring,
@@ -569,7 +585,9 @@ func (h *Hierarchy) Reset() {
 	for p := range h.memo {
 		h.memo[p] = lineMemo{}
 	}
-	h.gen = 1
+	for p := range h.gen {
+		h.gen[p] = 1
+	}
 }
 
 // FlushObs pushes the counters accumulated since the last flush into the
@@ -631,12 +649,12 @@ func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock
 	h.stats.Accesses[pu]++
 	line := h.topo.Line(addr)
 	slot := &h.memo[pu].slots[(line>>h.lineShift)&(memoSlots-1)]
-	if slot.gen == h.gen && slot.line == line && h.l1[pu].HitWay(addr, int(slot.way), write) {
+	if slot.gen == h.gen[pu] && slot.line == line && h.l1[pu].HitWay(addr, int(slot.way), write) {
 		h.env.L1Hits[pu]++
 		end := now.Add(h.l1Lat[pu])
 		if write {
 			end = h.coh.Apply(memsys.PU(pu), addr, line, write, end)
-			slot.gen = h.gen // re-key after a possible coherence bump
+			slot.gen = h.gen[pu] // re-key after a possible coherence bump
 		}
 		return end
 	}
@@ -646,14 +664,27 @@ func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock
 		if write {
 			end = h.coh.Apply(memsys.PU(pu), addr, line, write, end)
 		}
-		*slot = memoSlot{line: line, gen: h.gen, way: int32(way)}
+		*slot = memoSlot{line: line, gen: h.gen[pu], way: int32(way)}
 		return end
 	}
-	// Miss: the fill and any evictions below mutate cache state, so every
-	// memoized way is suspect.
-	h.gen++
+	// Miss: the fill and any evictions below mutate this PU's private
+	// caches, so its memoized ways are suspect. The other PU's memo is
+	// only disturbed through the coherence stage's targeted bump.
+	h.gen[pu]++
 	h.req.Start(memsys.PU(pu), addr, line, write, now.Add(h.l1Lat[pu]))
-	return h.chain[pu].RunMissedL1(&h.req)
+	end := h.chain[pu].RunMissedL1(&h.req)
+	// Memo-on-fill: the commit stage reports which L1 way it installed
+	// the line into, so streaming lines touched exactly twice (common at
+	// sub-line strides) ride the fast path on their second access instead
+	// of paying a probe. The coherence stage only ever bumps the *other*
+	// PU's generation, so h.gen[pu] is still the value set above and the
+	// slot is keyed to the post-miss epoch. HitWay tag-verifies before
+	// trusting the slot, so a stale way is a wasted check, never a wrong
+	// answer.
+	if w := h.req.L1Way; w >= 0 {
+		*slot = memoSlot{line: line, gen: h.gen[pu], way: int32(w)}
+	}
+	return end
 }
 
 // Push explicitly places the size-byte object at addr into the target
@@ -664,8 +695,11 @@ func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock
 func (h *Hierarchy) Push(pu PU, addr uint64, size uint32, level Level, now clock.Time) clock.Time {
 	h.stats.Pushes++
 	h.stats.PushBytes += uint64(size)
-	// Explicit placement mutates cache state underneath the memo.
-	h.gen++
+	// No generation bump: explicit placement mutates the L3 tiles and
+	// the scratchpad, never a private L1 directly — the private-level
+	// traffic it does generate goes through Access, which maintains the
+	// generations itself. Any slot the placement happens to orphan is
+	// caught by HitWay's tag verification.
 	if size == 0 {
 		return now
 	}
@@ -715,7 +749,7 @@ func (h *Hierarchy) Push(pu PU, addr uint64, size uint32, level Level, now clock
 // ownership-transfer points) and returns the number of dirty lines
 // written back.
 func (h *Hierarchy) FlushPrivate(pu PU) int {
-	h.gen++ // flushed lines must drop out of the memo
+	h.gen[pu]++ // flushed lines must drop out of the flushing PU's memo
 	if pu == CPU {
 		return h.cpuL1d.FlushAll() + h.cpuL2.FlushAll()
 	}

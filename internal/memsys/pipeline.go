@@ -1,6 +1,8 @@
 package memsys
 
 import (
+	"math/bits"
+
 	"heteromem/internal/clock"
 )
 
@@ -53,10 +55,39 @@ type Topology struct {
 	LineBytes int
 	// ReqBytes is the size of a request/control message.
 	ReqBytes int
+
+	// Derived strength-reduction state (Derive). Zero values mean "not
+	// derived" and every method falls back to plain division, so a
+	// Topology built as a bare literal stays correct — just slower on
+	// the TileFor hot path.
+	lineShift uint8  // log2(LineBytes) when LineBytes is a power of two
+	tileMask  uint64 // Tiles-1 when Tiles is a power of two
+}
+
+// Derive returns t with its strength-reduction fields populated:
+// TileFor on the returned value replaces the divide/modulo pair with a
+// shift and mask when the geometry allows (power-of-two line size and
+// tile count — true for every configuration this package ships).
+// Stages copy the Topology at construction, so derive before wiring.
+func (t Topology) Derive() Topology {
+	if t.LineBytes > 0 && t.LineBytes&(t.LineBytes-1) == 0 {
+		t.lineShift = uint8(bits.TrailingZeros(uint(t.LineBytes)))
+	}
+	if t.Tiles > 0 && t.Tiles&(t.Tiles-1) == 0 {
+		t.tileMask = uint64(t.Tiles - 1)
+	}
+	return t
 }
 
 // TileFor returns the L3 tile serving addr (line-interleaved).
 func (t Topology) TileFor(addr uint64) int {
+	if t.lineShift != 0 {
+		line := addr >> t.lineShift
+		if t.tileMask != 0 {
+			return int(line & t.tileMask)
+		}
+		return int(line % uint64(t.Tiles))
+	}
 	return int(addr/uint64(t.LineBytes)) % t.Tiles
 }
 

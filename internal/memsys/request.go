@@ -126,6 +126,12 @@ type Request struct {
 	Issue clock.Time
 	Now   clock.Time
 	Flags Flags
+	// L1Way reports which way of the PU's L1 holds the line after the
+	// pipeline filled it (-1 when the request completed without an L1
+	// fill, e.g. an MSHR merge or a bypassed install). Callers use it to
+	// seed way memoizations without a post-fill set scan; it carries no
+	// timing information.
+	L1Way int8
 	// Stamp holds each stage's completion time; zero for stages the
 	// request never reached.
 	Stamp [NumStages]clock.Time
@@ -141,6 +147,7 @@ func (r *Request) Start(pu PU, addr, line uint64, write bool, now clock.Time) {
 	r.Issue = now
 	r.Now = now
 	r.Flags = 0
+	r.L1Way = -1
 	r.Stamp = [NumStages]clock.Time{}
 }
 

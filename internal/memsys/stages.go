@@ -123,7 +123,7 @@ func (s *PrivateStage) ProcessMissedL1(r *Request) Verdict {
 	if s.L2.Lookup(r.Addr, r.Write) {
 		r.Flags |= FlagL2Hit
 		s.Env.L2Hits++
-		s.fillInto(s.L1, r.Addr, r.Write)
+		r.L1Way = int8(s.fillInto(s.L1, r.Addr, r.Write))
 		return Done
 	}
 	return Next
@@ -131,26 +131,28 @@ func (s *PrivateStage) ProcessMissedL1(r *Request) Verdict {
 
 // Fill installs the line into the PU's private levels after a shared
 // fill, notifying the directory when a line leaves the PU's domain
-// entirely.
-func (s *PrivateStage) Fill(addr uint64, write bool) {
+// entirely. It returns the L1 way the line landed in (-1 on bypass) so
+// the caller can seed way memoizations.
+func (s *PrivateStage) Fill(addr uint64, write bool) int {
 	if s.L2 != nil {
 		ev := s.L2.Fill(addr, false, false)
 		s.noteEviction(ev, s.L1)
-		s.fillInto(s.L1, addr, write)
-		return
+		return s.fillInto(s.L1, addr, write)
 	}
-	ev := s.L1.Fill(addr, false, write)
+	ev, way := s.L1.FillWay(addr, false, write)
 	s.noteEviction(ev, nil)
+	return way
 }
 
 // fillInto fills a private cache, absorbing the eviction (private-level
 // writebacks land in the level below, whose traffic the shared path
-// already dominates; we count them only).
-func (s *PrivateStage) fillInto(c *cache.Cache, addr uint64, dirty bool) {
-	ev := c.Fill(addr, false, dirty)
+// already dominates; we count them only). Returns the way filled.
+func (s *PrivateStage) fillInto(c *cache.Cache, addr uint64, dirty bool) int {
+	ev, way := c.FillWay(addr, false, dirty)
 	if ev.Valid && ev.Dirty {
 		s.Env.writeback()
 	}
+	return way
 }
 
 // noteEviction counts a private eviction and drops the line from the
@@ -332,7 +334,7 @@ func (s *CommitStage) ID() StageID { return StageCommit }
 // full in-flight window. The InFlight walk only runs with a live
 // gauge, so the uninstrumented path pays a single nil check.
 func (s *CommitStage) Process(r *Request) Verdict {
-	s.Private.Fill(r.Addr, r.Write)
+	r.L1Way = int8(s.Private.Fill(r.Addr, r.Write))
 	issued := r.Stamp[StageMSHR]
 	r.Now = s.File.Allocate(r.Line, issued, r.Now)
 	if g := s.Env.Obs.MSHROut[s.Private.PU]; g != nil {
@@ -355,10 +357,12 @@ type CoherenceStage struct {
 	// directory recalls that PU's copy.
 	Caches [NumPUs][]*cache.Cache
 	Env    *Env
-	// Gen, when non-nil, is incremented whenever the stage invalidates
-	// a remote copy, so line memoizations keyed on the generation
-	// (mem.Hierarchy's fast-path filter) observe the mutation.
-	Gen *uint64
+	// Gen, when non-nil, points at the per-PU generations backing line
+	// memoizations (mem.Hierarchy's fast-path filter). When the stage
+	// invalidates a remote copy, it bumps the victim PU's generation so
+	// that PU's memo slots observe the mutation; the requester's own
+	// memo is untouched by a remote recall.
+	Gen *[NumPUs]uint64
 }
 
 // ID implements Stage.
@@ -405,12 +409,12 @@ func (s *CoherenceStage) apply(pu PU, addr, line uint64, write bool, now clock.T
 		return now, false
 	}
 	s.Env.CoherenceOps++
-	if s.Gen != nil {
-		*s.Gen++
-	}
 	other := CPU
 	if pu == CPU {
 		other = GPU
+	}
+	if s.Gen != nil {
+		s.Gen[other]++
 	}
 	for _, c := range s.Caches[other] {
 		c.Invalidate(line)

@@ -10,6 +10,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"heteromem/internal/clock"
 	"heteromem/internal/obs"
@@ -53,10 +54,17 @@ type Ring struct {
 	cfg Config
 	// cw[i] is the clockwise link from stop i to stop (i+1)%n;
 	// ccw[i] is the counter-clockwise link from stop (i+1)%n to stop i.
-	cw    []*clock.Resource
-	ccw   []*clock.Resource
-	stats Stats
-	obs   ringObs
+	cw  []*clock.Resource
+	ccw []*clock.Resource
+	// path[from*Stops+to] is the link sequence a message traverses,
+	// precomputed so the Send hot path walks a slice instead of
+	// re-deriving direction and wrap-around arithmetic per hop.
+	path [][]*clock.Resource
+	// lbcShift is log2(LinkBytesPerCycle) when the link width is a power
+	// of two, else -1 (Send falls back to division).
+	lbcShift int
+	stats    Stats
+	obs      ringObs
 }
 
 // ringObs holds the ring's observability instruments under the noc.*
@@ -90,12 +98,40 @@ func New(cfg Config) (*Ring, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	r := &Ring{cfg: cfg}
+	r := &Ring{cfg: cfg, lbcShift: -1}
 	r.cw = make([]*clock.Resource, cfg.Stops)
 	r.ccw = make([]*clock.Resource, cfg.Stops)
 	for i := 0; i < cfg.Stops; i++ {
 		r.cw[i] = clock.NewResource(fmt.Sprintf("ring.cw%d", i))
 		r.ccw[i] = clock.NewResource(fmt.Sprintf("ring.ccw%d", i))
+	}
+	if w := cfg.LinkBytesPerCycle; w&(w-1) == 0 {
+		r.lbcShift = bits.TrailingZeros(uint(w))
+	}
+	n := cfg.Stops
+	r.path = make([][]*clock.Resource, n*n)
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			cwHops := ((to-from)%n + n) % n
+			links := make([]*clock.Resource, 0, n/2+1)
+			stop := from
+			if cwHops <= n-cwHops {
+				for h := 0; h < cwHops; h++ {
+					links = append(links, r.cw[stop])
+					stop = (stop + 1) % n
+				}
+			} else {
+				for h := 0; h < n-cwHops; h++ {
+					prev := (stop - 1 + n) % n
+					links = append(links, r.ccw[prev])
+					stop = prev
+				}
+			}
+			r.path[from*n+to] = links
+		}
 	}
 	return r, nil
 }
@@ -137,32 +173,21 @@ func (r *Ring) Send(from, to, bytes int, now clock.Time) clock.Time {
 	if from == to {
 		return now
 	}
-	n := r.cfg.Stops
-	cwHops := ((to-from)%n + n) % n
-	clockwise := cwHops <= n-cwHops
-	hops := cwHops
-	if !clockwise {
-		hops = n - cwHops
+	var cycles int
+	if r.lbcShift >= 0 {
+		cycles = (bytes + r.cfg.LinkBytesPerCycle - 1) >> uint(r.lbcShift)
+	} else {
+		cycles = (bytes + r.cfg.LinkBytesPerCycle - 1) / r.cfg.LinkBytesPerCycle
 	}
-
-	cycles := (bytes + r.cfg.LinkBytesPerCycle - 1) / r.cfg.LinkBytesPerCycle
 	if cycles == 0 {
 		cycles = 1 // even a zero-payload control message takes a flit
 	}
 	ser := clock.Duration(uint64(cycles)) * r.cfg.CycleTime
 
 	t := now
-	stop := from
-	for h := 0; h < hops; h++ {
-		var link *clock.Resource
-		if clockwise {
-			link = r.cw[stop]
-			stop = (stop + 1) % n
-		} else {
-			prev := (stop - 1 + n) % n
-			link = r.ccw[prev]
-			stop = prev
-		}
+	links := r.path[from*r.cfg.Stops+to]
+	hops := len(links)
+	for _, link := range links {
 		start, _ := link.Acquire(t, ser)
 		t = start.Add(r.cfg.HopLatency)
 	}

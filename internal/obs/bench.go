@@ -7,21 +7,73 @@ import (
 	"sort"
 )
 
-// BenchEntry is one headline benchmark number.
+// CostUnit reports whether larger values of unit mean worse performance
+// (wall clock, allocation). Both the report (best-of-N headline) and
+// cmd/benchcmp (regression direction) key off this, so it lives here
+// rather than in the command.
+func CostUnit(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return false
+}
+
+// BenchEntry is one headline benchmark number. Value is the headline:
+// for cost-like units it is the best (minimum) of the recorded samples,
+// since the minimum of repeated runs is the least noise-contaminated
+// estimate of a benchmark's true cost; for quality/throughput units it
+// is the latest sample. Samples holds every recorded value in arrival
+// order (absent in reports written before sample tracking existed).
 type BenchEntry struct {
-	Name  string  `json:"name"`
-	Value float64 `json:"value"`
-	Unit  string  `json:"unit"`
+	Name    string    `json:"name"`
+	Value   float64   `json:"value"`
+	Unit    string    `json:"unit"`
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// Min returns the smallest recorded sample, falling back to Value for
+// entries loaded from reports without sample tracking.
+func (e BenchEntry) Min() float64 {
+	if len(e.Samples) == 0 {
+		return e.Value
+	}
+	m := e.Samples[0]
+	for _, s := range e.Samples[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Median returns the median recorded sample (mean of the middle pair
+// for even counts), falling back to Value when no samples are recorded.
+func (e BenchEntry) Median() float64 {
+	if len(e.Samples) == 0 {
+		return e.Value
+	}
+	s := append([]float64(nil), e.Samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 // BenchReport collects headline numbers from a benchmark run and writes
 // them to BENCH_<date>.json, seeding the repository's performance
-// trajectory: successive PRs dump fresh files and diff them.
+// trajectory: successive PRs dump fresh files and diff them. GoGC and
+// GoMaxProcs record the runtime knobs the numbers were taken under so a
+// comparison across reports is known to be apples-to-apples.
 type BenchReport struct {
-	Date    string       `json:"date"`
-	GoOS    string       `json:"goos,omitempty"`
-	GoArch  string       `json:"goarch,omitempty"`
-	Entries []BenchEntry `json:"entries"`
+	Date       string       `json:"date"`
+	GoOS       string       `json:"goos,omitempty"`
+	GoArch     string       `json:"goarch,omitempty"`
+	GoGC       string       `json:"gogc,omitempty"`
+	GoMaxProcs int          `json:"gomaxprocs,omitempty"`
+	Entries    []BenchEntry `json:"entries"`
 }
 
 // NewBenchReport returns an empty report stamped with date (expected
@@ -30,19 +82,32 @@ func NewBenchReport(date string) *BenchReport {
 	return &BenchReport{Date: date}
 }
 
-// Add records one entry; a repeated name overwrites the earlier value so
-// a re-run benchmark keeps its latest number.
+// Add records one sample under name. A repeated name (e.g. the same
+// benchmark run with -count=3) accumulates samples rather than
+// overwriting: cost-like units keep the best (minimum) sample as the
+// headline Value, anything else keeps the latest. This is what makes a
+// -count=N smoke run robust against one-off scheduler noise — a single
+// slow sample cannot drag the headline into cmd/benchcmp's regression
+// band.
 func (r *BenchReport) Add(name string, value float64, unit string) {
 	if r == nil {
 		return
 	}
 	for i := range r.Entries {
-		if r.Entries[i].Name == name {
-			r.Entries[i] = BenchEntry{Name: name, Value: value, Unit: unit}
-			return
+		if r.Entries[i].Name != name {
+			continue
 		}
+		e := &r.Entries[i]
+		e.Samples = append(e.Samples, value)
+		e.Unit = unit
+		if !CostUnit(unit) || value < e.Value {
+			e.Value = value
+		}
+		return
 	}
-	r.Entries = append(r.Entries, BenchEntry{Name: name, Value: value, Unit: unit})
+	r.Entries = append(r.Entries, BenchEntry{
+		Name: name, Value: value, Unit: unit, Samples: []float64{value},
+	})
 }
 
 // WriteFile writes the report as BENCH_<date>.json under dir and returns

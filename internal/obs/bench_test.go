@@ -12,7 +12,7 @@ func TestBenchReportWriteFile(t *testing.T) {
 	r.GoOS, r.GoArch = "linux", "amd64"
 	r.Add("sim.reduction.insts_per_sec", 1.5e7, "insts/s")
 	r.Add("sim.reduction.total_us", 120, "us")
-	r.Add("sim.reduction.insts_per_sec", 2e7, "insts/s") // overwrite keeps latest
+	r.Add("sim.reduction.insts_per_sec", 2e7, "insts/s") // non-cost unit keeps latest
 
 	dir := t.TempDir()
 	path, err := r.WriteFile(dir)
@@ -39,5 +39,57 @@ func TestBenchReportWriteFile(t *testing.T) {
 	}
 	if got.Entries[1].Name != "sim.reduction.total_us" {
 		t.Fatalf("entry 1 = %+v", got.Entries[1])
+	}
+	// Repeated adds accumulate samples in arrival order.
+	if s := got.Entries[0].Samples; len(s) != 2 || s[0] != 1.5e7 || s[1] != 2e7 {
+		t.Fatalf("samples = %v", s)
+	}
+}
+
+func TestBenchReportBestOfN(t *testing.T) {
+	r := NewBenchReport("2026-08-08")
+	// Cost unit: the headline is the minimum sample regardless of order,
+	// so one noisy slow run cannot poison a -count=3 smoke.
+	r.Add("bench/ns_op", 5.0e9, "ns/op")
+	r.Add("bench/ns_op", 3.6e9, "ns/op")
+	r.Add("bench/ns_op", 4.1e9, "ns/op")
+	e := r.Entries[0]
+	if e.Value != 3.6e9 {
+		t.Fatalf("cost headline = %g, want min 3.6e9", e.Value)
+	}
+	if e.Min() != 3.6e9 {
+		t.Fatalf("Min() = %g", e.Min())
+	}
+	if e.Median() != 4.1e9 {
+		t.Fatalf("Median() = %g", e.Median())
+	}
+
+	// Non-cost unit: latest wins, samples still tracked.
+	r.Add("sim_us", 10, "sim_us")
+	r.Add("sim_us", 30, "sim_us")
+	if e := r.Entries[1]; e.Value != 30 || e.Median() != 20 {
+		t.Fatalf("non-cost entry = %+v median %g", e, e.Median())
+	}
+}
+
+func TestBenchEntryLegacyNoSamples(t *testing.T) {
+	// Entries unmarshalled from pre-sample reports must fall back to
+	// Value for Min/Median so benchcmp can still compare against them.
+	e := BenchEntry{Name: "x", Value: 42, Unit: "ns/op"}
+	if e.Min() != 42 || e.Median() != 42 {
+		t.Fatalf("legacy entry Min/Median = %g/%g", e.Min(), e.Median())
+	}
+}
+
+func TestCostUnit(t *testing.T) {
+	for _, u := range []string{"ns/op", "B/op", "allocs/op"} {
+		if !CostUnit(u) {
+			t.Errorf("CostUnit(%q) = false", u)
+		}
+	}
+	for _, u := range []string{"sim_us", "insts/run", "critical_survived", ""} {
+		if CostUnit(u) {
+			t.Errorf("CostUnit(%q) = true", u)
+		}
 	}
 }

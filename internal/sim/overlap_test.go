@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"heteromem/internal/isa"
+	"heteromem/internal/obs"
+	"heteromem/internal/systems"
+	"heteromem/internal/trace"
+	"heteromem/internal/workload"
+)
+
+// computeOnlyGPU returns a materialized GPU-half stream containing only
+// core-local instructions (compute, branches, a barrier) — certified to
+// never leave the GPU core.
+func computeOnlyGPU(n int) trace.Stream {
+	s := make(trace.Stream, 0, n)
+	for i := 0; len(s) < n; i++ {
+		pc := uint64(0x800000 + i*16)
+		s = append(s,
+			trace.Inst{PC: pc, Kind: isa.SIMDFP, Lanes: 8},
+			trace.Inst{PC: pc + 4, Kind: isa.SIMDALU, Dep1: 1, Lanes: 8},
+			trace.Inst{PC: pc + 8, Kind: isa.ALU},
+			trace.Inst{PC: pc + 12, Kind: isa.Branch, Taken: i%7 != 0},
+		)
+	}
+	s = append(s, trace.Inst{PC: 0x8ffff0, Kind: isa.Barrier})
+	return s[:n]
+}
+
+// memHeavyCPU returns a CPU-half stream that exercises the shared
+// hierarchy: strided loads and stores over a footprint that spills the
+// private levels, mixed with compute.
+func memHeavyCPU(n int) trace.Stream {
+	s := make(trace.Stream, 0, n)
+	const base = 1 << 21
+	for i := 0; len(s) < n; i++ {
+		pc := uint64(0x400000 + i*16)
+		addr := uint64(base + (i*832)%(1<<20))
+		s = append(s,
+			trace.Inst{PC: pc, Kind: isa.Load, Addr: addr, Size: 8},
+			trace.Inst{PC: pc + 4, Kind: isa.ALU, Dep1: 1},
+			trace.Inst{PC: pc + 8, Kind: isa.Store, Addr: addr + 64, Size: 8, Dep1: 1},
+			trace.Inst{PC: pc + 12, Kind: isa.Branch, Taken: true},
+		)
+	}
+	return s[:n]
+}
+
+// overlapProgram builds a program whose single parallel phase has a
+// memory-heavy CPU half and a compute-only (core-local) GPU half, the
+// shape that qualifies for certified goroutine overlap.
+func overlapProgram() *workload.Program {
+	return &workload.Program{
+		Name:    "overlap-probe",
+		Pattern: "fully-parallel",
+		Phases: []workload.Phase{
+			{Kind: workload.Parallel, CPU: memHeavyCPU(4000), GPU: computeOnlyGPU(6000)},
+		},
+	}
+}
+
+// TestOverlapBitIdentity is the A/B gate for the certified parallel
+// path: for every case-study system, the goroutine-overlapped execution
+// must produce a Result bit-identical to the lock-step co-simulation.
+// Under -race this also exercises the concurrent path for data races.
+func TestOverlapBitIdentity(t *testing.T) {
+	p := overlapProgram()
+	for _, sys := range systems.CaseStudies() {
+		t.Run(sys.Name, func(t *testing.T) {
+			seq := MustNew(sys)
+			seq.forceSequenced = true
+			want, err := seq.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			par := MustNew(sys)
+			if ph := &p.Phases[0]; !ph.GPUCoreLocal() {
+				t.Fatal("compute-only GPU half not classified core-local")
+			}
+			got, err := par.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("overlapped run diverged from sequenced run:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestOverlapBitIdentityCPULocal covers the mirrored shape: the CPU half
+// core-local, the GPU half with memory traffic (the built-in kernels'
+// GPU bodies all touch memory, so reuse one from workload.Generate).
+func TestOverlapBitIdentityCPULocal(t *testing.T) {
+	ref := workload.MustGenerate("reduction")
+	var gpuHalf trace.Stream
+	for i := range ref.Phases {
+		if ref.Phases[i].Kind == workload.Parallel {
+			gpuHalf = ref.Phases[i].GPU
+			break
+		}
+	}
+	cpuHalf := make(trace.Stream, 0, 5000)
+	for i := 0; len(cpuHalf) < 5000; i++ {
+		pc := uint64(0x400000 + i*8)
+		cpuHalf = append(cpuHalf,
+			trace.Inst{PC: pc, Kind: isa.FP},
+			trace.Inst{PC: pc + 4, Kind: isa.Branch, Taken: true, Dep1: 1},
+		)
+	}
+	p := &workload.Program{
+		Name:    "overlap-probe-cpu",
+		Pattern: "fully-parallel",
+		Phases: []workload.Phase{
+			{Kind: workload.Parallel, CPU: cpuHalf, GPU: gpuHalf},
+		},
+	}
+	if ph := &p.Phases[0]; !ph.CPUCoreLocal() || ph.GPUCoreLocal() {
+		t.Fatalf("classification: cpu=%v gpu=%v, want true/false", ph.CPUCoreLocal(), ph.GPUCoreLocal())
+	}
+	for _, sys := range systems.CaseStudies() {
+		t.Run(sys.Name, func(t *testing.T) {
+			seq := MustNew(sys)
+			seq.forceSequenced = true
+			want, err := seq.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MustNew(sys).Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("overlapped run diverged from sequenced run:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestOverlapCertificationDeclines pins the conservative side of the
+// rule: instrumented simulators and generator-backed phases never take
+// the concurrent path.
+func TestOverlapCertificationDeclines(t *testing.T) {
+	sys := systems.CPUGPU()
+
+	s := MustNew(sys)
+	ph := &overlapProgram().Phases[0]
+	if !s.overlapCertified(ph) {
+		t.Fatal("uninstrumented sim should certify a core-local half")
+	}
+
+	opened := workload.MustOpen("reduction")
+	for i := range opened.Phases {
+		if opened.Phases[i].Kind != workload.Parallel {
+			continue
+		}
+		if s.overlapCertified(&opened.Phases[i]) {
+			t.Error("generator-backed phase must classify conservatively")
+		}
+	}
+
+	inst, err := NewWithOptions(sys, Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.overlapCertified(ph) {
+		t.Error("instrumented sim must decline certification")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"heteromem/internal/addrspace"
+	"heteromem/internal/arena"
 	"heteromem/internal/clock"
 	"heteromem/internal/comm"
 	"heteromem/internal/config"
@@ -93,6 +94,15 @@ type Options struct {
 	// implicit management.
 	Locality *locality.Scheme
 
+	// Arena, when non-nil, backs the simulator's construction-time
+	// metadata (cache tag/state arrays, MSHR files, core replay rings)
+	// with bump-allocated slabs instead of individual heap allocations.
+	// The simulator keeps no reference to the arena; the caller owns its
+	// lifecycle and must not Reset it while simulators built from it are
+	// still in use. Sweep workers build their pooled simulators out of
+	// one arena each (see internal/harness).
+	Arena *arena.Arena
+
 	// Metrics attaches an observability registry: every component
 	// registers its counters under its namespace (cpu.*, gpu.*, mem.*,
 	// noc.*, dram.*, comm.*, addrspace.*) and bumps them as it runs. Nil
@@ -165,6 +175,11 @@ type Simulator struct {
 	prologue  trace.Stream
 	cpuPushes trace.Stream
 	gpuPushes trace.Stream
+
+	// forceSequenced pins parallel phases to the lock-step co-simulation
+	// loop even when overlapCertified would allow goroutine overlap; the
+	// A/B bit-identity tests use it to produce the reference timing.
+	forceSequenced bool
 }
 
 // New returns a simulator for the system with the Table II baseline.
@@ -189,7 +204,7 @@ func NewWithOptions(sys systems.System, opts Options) (*Simulator, error) {
 		// backend; an explicit Hierarchy override may still pre-set it.
 		memCfg.Tech = sys.MemTech
 	}
-	hier, err := mem.New(memCfg)
+	hier, err := mem.NewIn(opts.Arena, memCfg)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -209,8 +224,8 @@ func NewWithOptions(sys systems.System, opts Options) (*Simulator, error) {
 		proto:  proto,
 	}
 	s.env.s = s
-	s.cpuCore = cpu.New(config.BaselineCPU(), hier, sys.Params.Latency)
-	s.gpuCore = gpu.New(config.BaselineGPU(), hier, sys.Params.Latency, memCfg.SWCacheLat)
+	s.cpuCore = cpu.NewIn(opts.Arena, config.BaselineCPU(), hier, sys.Params.Latency)
+	s.gpuCore = gpu.NewIn(opts.Arena, config.BaselineGPU(), hier, sys.Params.Latency, memCfg.SWCacheLat)
 	s.gpuCore.Coalesce = !opts.DisableCoalescing
 	if opts.Locality != nil {
 		if err := opts.Locality.Validate(sys.Model); err != nil {
@@ -521,29 +536,36 @@ func (s *Simulator) runParallel(ph *workload.Phase, now clock.Time, res *Result)
 	ge := s.gpuCore.Begin(ph.GPUSource(), gpuStart)
 	ce := s.cpuCore.Begin(ph.CPUSource(), start)
 	const forever = clock.Time(^uint64(0))
-	for !ge.Done() || !ce.Done() {
-		switch {
-		case ge.Done():
+	switch {
+	case s.overlapCertified(ph):
+		// Certified interaction-free: at least one half is core-local
+		// (touches nothing outside its own core) and no shared
+		// observability sink is attached, so the two halves cannot
+		// exchange information through the hierarchy, the fabric, or a
+		// metrics registry. Advancing them on separate goroutines is then
+		// bit-identical to the interleaved loop below: chunked StepUntil
+		// calls compose (StepUntil(t1); StepUntil(t2) ≡ StepUntil(t2))
+		// when nothing mutates shared state between chunks, and here
+		// nothing can. The channel close orders the worker's writes
+		// before the joins and the End calls below, which run in the
+		// same fixed order as the sequenced path.
+		done := make(chan struct{})
+		if ph.GPUCoreLocal() {
+			go func() {
+				defer close(done)
+				ge.StepUntil(forever)
+			}()
 			ce.StepUntil(forever)
-		case ce.Done():
+		} else {
+			go func() {
+				defer close(done)
+				ce.StepUntil(forever)
+			}()
 			ge.StepUntil(forever)
-		case ge.Now() <= ce.Now():
-			ge.StepUntil(ce.Now())
-		default:
-			ce.StepUntil(ge.Now())
 		}
-		if s.sampler != nil {
-			// Drain the batched counters so the epoch deltas match
-			// per-event bumping exactly.
-			ce.FlushObs()
-			ge.FlushObs()
-			s.flushObs()
-			lo := ge.Now()
-			if ce.Now() < lo {
-				lo = ce.Now()
-			}
-			s.sampler.Advance(uint64(lo))
-		}
+		<-done
+	default:
+		s.runCoSim(ge, ce)
 	}
 	gpuEnd, gst := ge.End()
 	cpuEnd, cst := ce.End()
@@ -574,6 +596,70 @@ func (s *Simulator) runParallel(ph *workload.Phase, now clock.Time, res *Result)
 	}
 	res.Communication += exposed
 	return end
+}
+
+// runCoSim advances the two halves of a parallel phase in lock step:
+// repeatedly step whichever core is behind in simulated time up to the
+// other's clock, so their traffic interleaves on the shared hierarchy in
+// time order. This is the general path — it is correct for any pair of
+// halves — and the fallback whenever overlapCertified declines.
+func (s *Simulator) runCoSim(ge *gpu.Execution, ce *cpu.Execution) {
+	const forever = clock.Time(^uint64(0))
+	for !ge.Done() || !ce.Done() {
+		switch {
+		case ge.Done():
+			ce.StepUntil(forever)
+		case ce.Done():
+			ge.StepUntil(forever)
+		case ge.Now() <= ce.Now():
+			ge.StepUntil(ce.Now())
+		default:
+			ce.StepUntil(ge.Now())
+		}
+		if s.sampler != nil {
+			// Drain the batched counters so the epoch deltas match
+			// per-event bumping exactly.
+			ce.FlushObs()
+			ge.FlushObs()
+			s.flushObs()
+			lo := ge.Now()
+			if ce.Now() < lo {
+				lo = ce.Now()
+			}
+			s.sampler.Advance(uint64(lo))
+		}
+	}
+}
+
+// overlapCertified reports whether a parallel phase's halves may run on
+// separate goroutines with a result bit-identical to runCoSim. The
+// certification rule is deliberately conservative — every condition must
+// hold, and any doubt falls back to the sequenced path:
+//
+//  1. At least one half is core-local (workload.Phase.CPUCoreLocal /
+//     GPUCoreLocal): every one of its instructions executes entirely
+//     inside its own core, so it can neither observe nor disturb the
+//     hierarchy, ring, DRAM, fabric, or the other core.
+//  2. No observability sink is attached. Metrics counters, samplers,
+//     tracers, host profilers, publishers and run spans are shared
+//     mutable state the two goroutines would race on; an instrumented
+//     run always takes the sequenced path.
+//  3. Flush-based coherence only (no directory). The directory is
+//     consulted per miss, and although a core-local half never misses,
+//     declining keeps the rule auditable: nothing coherence-related can
+//     run concurrently at all.
+func (s *Simulator) overlapCertified(ph *workload.Phase) bool {
+	if s.forceSequenced {
+		return false
+	}
+	if s.metrics != nil || s.sampler != nil || s.tracer != nil ||
+		s.hostProf != nil || s.pub != nil || s.runSpan != nil {
+		return false
+	}
+	if s.hier.Directory() != nil {
+		return false
+	}
+	return ph.CPUCoreLocal() || ph.GPUCoreLocal()
 }
 
 func minDur(a, b clock.Duration) clock.Duration {

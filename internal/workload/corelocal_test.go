@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+
+	"heteromem/internal/isa"
+	"heteromem/internal/trace"
+)
+
+func TestCoreLocalClassification(t *testing.T) {
+	compute := trace.Stream{
+		{PC: 0x10, Kind: isa.ALU},
+		{PC: 0x14, Kind: isa.FP, Dep1: 1},
+		{PC: 0x18, Kind: isa.Barrier},
+		{PC: 0x1c, Kind: isa.Branch, Taken: true},
+	}
+	load := trace.Inst{PC: 0x20, Kind: isa.Load, Addr: 0x1000, Size: 8}
+
+	cases := []struct {
+		name     string
+		ph       Phase
+		cpu, gpu bool
+	}{
+		{"both-compute", Phase{Kind: Parallel, CPU: compute, GPU: compute}, true, true},
+		{"cpu-touches-memory", Phase{Kind: Parallel, CPU: append(compute[:3:3], load), GPU: compute}, false, true},
+		{"empty-halves", Phase{Kind: Parallel}, true, true},
+		{"push-disqualifies", Phase{Kind: Parallel,
+			GPU: trace.Stream{{PC: 0x30, Kind: isa.Push, Addr: 0x1000, Size: 64}}}, true, false},
+		{"swcache-disqualifies", Phase{Kind: Parallel,
+			GPU: trace.Stream{{PC: 0x30, Kind: isa.SWLoad, Addr: 0x1000, Size: 8}}}, true, false},
+		{"comm-disqualifies", Phase{Kind: Parallel,
+			CPU: trace.Stream{{PC: 0x30, Kind: isa.APIPCI}}}, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.ph.CPUCoreLocal(); got != tc.cpu {
+				t.Errorf("CPUCoreLocal() = %v, want %v", got, tc.cpu)
+			}
+			if got := tc.ph.GPUCoreLocal(); got != tc.gpu {
+				t.Errorf("GPUCoreLocal() = %v, want %v", got, tc.gpu)
+			}
+		})
+	}
+}
+
+// TestCoreLocalGeneratorConservative pins that generator-backed halves
+// classify false even when the body only emits compute: conditional
+// emission means no sample can certify the whole stream, so streaming
+// phases are never overlapped. Materializing the phase makes the stream
+// inspectable and the classification exact.
+func TestCoreLocalGeneratorConservative(t *testing.T) {
+	computeBody := func(g *gen) {
+		g.emit(trace.Inst{PC: g.pc(0), Kind: isa.ALU})
+		g.emit(trace.Inst{PC: g.pc(1), Kind: isa.Branch, Taken: true})
+	}
+	ph := Phase{Kind: Parallel, cpuGen: &genParams{body: computeBody, n: 100, seed: 1}}
+	if ph.CPUCoreLocal() {
+		t.Fatal("generator-backed half classified core-local before materialization")
+	}
+	ph.materialize()
+	if !ph.CPUCoreLocal() {
+		t.Fatal("materialized compute-only half not reclassified core-local")
+	}
+}
+
+// TestBuiltinKernelsNotCoreLocal documents that every Table III kernel
+// half touches memory: the certified overlap path never fires for the
+// Figure 5 suite, whose goldens pin the sequenced path.
+func TestBuiltinKernelsNotCoreLocal(t *testing.T) {
+	for _, name := range Names() {
+		p := MustGenerate(name)
+		for i := range p.Phases {
+			ph := &p.Phases[i]
+			if ph.Kind != Parallel {
+				continue
+			}
+			if ph.CPUCoreLocal() || ph.GPUCoreLocal() {
+				t.Errorf("%s phase %d: unexpectedly core-local (cpu=%v gpu=%v)",
+					name, i, ph.CPUCoreLocal(), ph.GPUCoreLocal())
+			}
+		}
+	}
+}

@@ -17,7 +17,11 @@ import (
 // trace. Bodies emit into a small per-iteration buffer that bodySource
 // drains, so a dynamic stream never materializes unless asked to.
 type gen struct {
+	// out is a full-length emission window; emit writes out[n] and
+	// advances n. Indexed emission keeps the body's hot loop down to a
+	// bounds-checked store — no slice-header rewrite, no growth branch.
 	out       []trace.Inst
+	n         int
 	seed      uint64
 	pcBase    uint64
 	dataBase  uint64
@@ -38,9 +42,16 @@ func (g *gen) next() uint64 {
 func (g *gen) pc(slot uint64) uint64 { return g.pcBase + slot*4 }
 
 // seqAddr returns the next streaming address, wrapping at the footprint.
+// cursor is kept reduced modulo footprint (bodies advance by at most
+// bodyBufCap small strides, each well under any footprint), so the wrap
+// is a compare-and-subtract instead of a hardware divide in the hottest
+// loop of trace synthesis.
 func (g *gen) seqAddr(stride uint64) uint64 {
-	a := g.dataBase + g.cursor%g.footprint
+	a := g.dataBase + g.cursor
 	g.cursor += stride
+	if g.cursor >= g.footprint {
+		g.cursor -= g.footprint
+	}
 	return a
 }
 
@@ -49,7 +60,7 @@ func (g *gen) randAddr() uint64 {
 	return g.dataBase + (g.next()%g.footprint)&^7
 }
 
-func (g *gen) emit(in trace.Inst) { g.out = append(g.out, in) }
+func (g *gen) emit(in trace.Inst) { g.out[g.n] = in; g.n++ }
 
 // bodyFn appends one loop iteration to g.
 type bodyFn func(g *gen)
@@ -102,7 +113,7 @@ func (s *bodySource) Reset() {
 	if s.g.footprint == 0 {
 		s.g.footprint = 4096
 	}
-	s.g.out = s.buf[:0]
+	s.g.out = s.buf[:]
 	s.pos, s.bi = 0, 0
 }
 
@@ -114,12 +125,12 @@ func (s *bodySource) Next() (trace.Inst, bool) {
 	if s.pos >= s.p.n {
 		return trace.Inst{}, false
 	}
-	if s.bi >= len(s.g.out) {
-		s.g.out = s.g.out[:0]
+	if s.bi >= s.g.n {
+		s.g.n = 0
 		s.bi = 0
 		s.p.body(&s.g)
 		s.g.iter++
-		if len(s.g.out) == 0 {
+		if s.g.n == 0 {
 			panic("workload: loop body emitted nothing")
 		}
 	}
@@ -129,27 +140,46 @@ func (s *bodySource) Next() (trace.Inst, bool) {
 	return in, true
 }
 
-// NextBatch copies up to len(dst) instructions into dst, regenerating
-// loop iterations as the internal buffer drains. The delivered sequence
-// is exactly Next's; the bulk form exists so replay loops avoid an
-// interface call per instruction.
+// NextBatch fills up to len(dst) instructions into dst, regenerating
+// loop iterations as needed. The delivered sequence is exactly Next's;
+// the bulk form exists so replay loops avoid an interface call per
+// instruction. While dst has at least a full iteration of room, the
+// generator's scratch is pointed directly at dst, so the body's appends
+// land in place and the per-iteration copy disappears.
 func (s *bodySource) NextBatch(dst []trace.Inst) int {
 	if rem := s.p.n - s.pos; len(dst) > rem {
 		dst = dst[:rem]
 	}
 	n := 0
-	for n < len(dst) {
-		if s.bi >= len(s.g.out) {
-			s.g.out = s.g.out[:0]
-			s.bi = 0
-			s.p.body(&s.g)
-			s.g.iter++
-			if len(s.g.out) == 0 {
-				panic("workload: loop body emitted nothing")
-			}
-		}
-		c := copy(dst[n:], s.g.out[s.bi:])
+	// Drain whatever is left of the current iteration first.
+	if s.bi < s.g.n {
+		c := copy(dst, s.g.out[s.bi:s.g.n])
 		s.bi += c
+		n = c
+	}
+	// Emit whole iterations straight into dst.
+	for len(dst)-n >= bodyBufCap {
+		s.g.out = dst[n : n+bodyBufCap]
+		s.g.n = 0
+		s.p.body(&s.g)
+		s.g.iter++
+		if s.g.n == 0 {
+			panic("workload: loop body emitted nothing")
+		}
+		n += s.g.n
+	}
+	s.g.out, s.g.n, s.bi = s.buf[:], 0, 0
+	// Tail: generate into the scratch buffer and copy the part that fits.
+	for n < len(dst) {
+		s.g.n = 0
+		s.bi = 0
+		s.p.body(&s.g)
+		s.g.iter++
+		if s.g.n == 0 {
+			panic("workload: loop body emitted nothing")
+		}
+		c := copy(dst[n:], s.g.out[:s.g.n])
+		s.bi = c
 		n += c
 	}
 	s.pos += n
