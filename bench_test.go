@@ -29,6 +29,7 @@ import (
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
 	"heteromem/internal/workload"
+	"heteromem/internal/xlat"
 )
 
 var printOnce sync.Map
@@ -234,6 +235,41 @@ func BenchmarkMemTech(b *testing.B) {
 				}
 				if res.MemTech != k.String() {
 					b.Fatalf("result reports mem_tech %q, want %q", res.MemTech, k)
+				}
+				total = res.Total()
+			}
+			reportMetric(b, total.Microseconds(), "sim_us")
+			benchJSON.Add(b.Name()+"/ns_op",
+				float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/op")
+		})
+	}
+}
+
+// --- Address translation (DESIGN.md section 14) ---
+
+// BenchmarkTranslation runs the latency-bound reduction kernel on the
+// ideal heterogeneous system under each translation preset. The sim_us
+// rows price what the TLB + page-walk front-end adds to the simulated
+// time; the ns_op rows gate the simulator's own per-preset throughput.
+func BenchmarkTranslation(b *testing.B) {
+	p := workload.MustGenerate("reduction")
+	for _, preset := range xlat.Presets() {
+		spec := xlat.MustParsePreset(preset)
+		b.Run(preset, func(b *testing.B) {
+			sys := systems.IdealHetero()
+			sys.Translation = spec
+			var total clock.Duration
+			for i := 0; i < b.N; i++ {
+				s, err := sim.New(sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Translation != spec.Label() {
+					b.Fatalf("result reports translation %q, want %q", res.Translation, spec.Label())
 				}
 				total = res.Total()
 			}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"heteromem/internal/clock"
 	"heteromem/internal/config"
 	"heteromem/internal/energy"
 	"heteromem/internal/locality"
@@ -27,6 +28,7 @@ import (
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
 	"heteromem/internal/workload"
+	"heteromem/internal/xlat"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-component statistics")
 		loc      = flag.String("locality", "", "apply a locality scheme: expl-shared, expl-private, or hybrid")
 		energyOn = flag.Bool("energy", false, "print the estimated energy breakdown")
+		xlatName = flag.String("xlat", "", "override the system's address-translation front-end with a preset ("+strings.Join(xlat.Presets(), ", ")+")")
 
 		jsonOut        = flag.Bool("json", false, "emit the full results as JSON to stdout instead of tables")
 		traceOut       = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (single system only)")
@@ -98,6 +101,15 @@ func main() {
 			log.Fatal(err)
 		}
 		sysList = []systems.System{s}
+	}
+	if *xlatName != "" {
+		xspec, err := xlat.ParsePreset(*xlatName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range sysList {
+			sysList[i].Translation = xspec
+		}
 	}
 
 	var reg *obs.Registry
@@ -317,6 +329,17 @@ func printDetail(res sim.Result) {
 	tbl.AddRow("ownership ops", res.OwnershipOps)
 	tbl.AddRow("fabric", res.Fabric.String())
 	tbl.AddRow("memory technology", res.MemTech)
+	tbl.AddRow("translation", res.Translation)
+	if res.Translation != "off" {
+		tbl.AddRow("tlb misses cpu/gpu", fmt.Sprintf("%d/%d (of %d/%d)",
+			res.Mem.XlatMisses[0], res.Mem.XlatMisses[1],
+			res.Mem.XlatLookups[0], res.Mem.XlatLookups[1]))
+		tbl.AddRow("page-walk stall cpu/gpu", fmt.Sprintf("%v/%v",
+			report.Dur(clock.Duration(res.Mem.XlatWalkPS[0])),
+			report.Dur(clock.Duration(res.Mem.XlatWalkPS[1]))))
+		tbl.AddRow("tlb shootdowns cpu/gpu", fmt.Sprintf("%d/%d",
+			res.Mem.XlatShootdowns[0], res.Mem.XlatShootdowns[1]))
+	}
 	tbl.AddRow("dram fills cpu/gpu", fmt.Sprintf("%d/%d", res.Mem.DRAMFills[0], res.Mem.DRAMFills[1]))
 	tbl.AddRow("L3 hits cpu/gpu", fmt.Sprintf("%d/%d", res.Mem.L3Hits[0], res.Mem.L3Hits[1]))
 	tbl.AddRow("page-table map updates", fmt.Sprintf("cpu %d, gpu %d", res.Space.MapUpdates[0], res.Space.MapUpdates[1]))

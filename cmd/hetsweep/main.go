@@ -8,6 +8,7 @@
 //	hetsweep -all              # everything
 //	hetsweep -grid g.json      # sweep a declarative design-space grid
 //	hetsweep -figure 5 -memtech hbm   # case studies on an HBM backend
+//	hetsweep -figure 5 -xlat 2m       # … with address translation priced
 //
 // A sweep can be observed while it runs: -serve starts the live
 // introspection server (/progress, /metrics, pprof) and -out writes a
@@ -30,6 +31,7 @@ import (
 	"heteromem/internal/prof"
 	"heteromem/internal/report"
 	"heteromem/internal/systems"
+	"heteromem/internal/xlat"
 )
 
 func main() {
@@ -48,6 +50,7 @@ func main() {
 		energyOut   = flag.Bool("energy", false, "print the energy breakdown for the case-study sweep")
 		jsonOut     = flag.Bool("json", false, "emit the case-study sweep (full results) as JSON to stdout")
 		memtechName = flag.String("memtech", "dram", "terminal memory technology for the case-study sweep (dram, hbm, nvm, dram-cache)")
+		xlatName    = flag.String("xlat", "off", "address-translation preset for the case-study sweep ("+strings.Join(xlat.Presets(), ", ")+")")
 		par         = flag.Int("par", 0, "sweep worker count (0 = GOMAXPROCS)")
 
 		serveAddr      = flag.String("serve", "", "serve live sweep introspection (/progress, /metrics, pprof) on this address while running")
@@ -122,10 +125,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	xspec, err := xlat.ParsePreset(*xlatName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var caseCells []harness.Cell
 	caseStudies := func() []harness.Cell {
 		if caseCells == nil {
 			sysList := systems.CaseStudiesWithTech(tech)
+			if !xspec.IsZero() {
+				for i := range sysList {
+					sysList[i].Translation = xspec
+				}
+			}
 			var err error
 			caseCells, err = exec.RunSystems(sysList, kernels)
 			if err != nil {

@@ -1,8 +1,10 @@
 // Advisor: the paper's future work (Section VII) made runnable — score
 // the four address-space models on performance, programmability,
 // locality flexibility and hardware cost, and recommend one. Also
-// demonstrates the per-PU page-size trade-off of Section II-A1 with the
-// TLB model.
+// demonstrates the per-PU page-size trade-off of Section II-A1 by
+// driving the simulator's real translation front-end
+// (memsys.TranslationStage) — the same TLB + page-walk model the
+// translation design axis puts on the timed access path.
 //
 //	go run ./examples/advisor
 package main
@@ -11,10 +13,11 @@ import (
 	"fmt"
 	"log"
 
-	"heteromem/internal/addrspace"
+	"heteromem/internal/clock"
 	"heteromem/internal/guideline"
-	"heteromem/internal/mem"
+	"heteromem/internal/memsys"
 	"heteromem/internal/report"
+	"heteromem/internal/xlat"
 )
 
 func main() {
@@ -58,27 +61,38 @@ func main() {
 	}
 
 	// Section II-A1: a virtually unified space lets each PU pick its own
-	// page size; the GPU's streaming working sets want large pages.
+	// page size; the GPU's streaming working sets want large pages. The
+	// stage below is the exact translation front-end the simulator runs
+	// when a system selects the translation axis, so the demo's numbers
+	// and the sweep's numbers come from one model.
 	fmt.Println("\n== Per-PU page sizes (Section II-A1) ==")
 	const stream = 32 << 20 // a 32 MB streaming working set
 	for _, cfg := range []struct {
-		label string
-		pu    mem.PU
-		page  uint64
+		label  string
+		pu     memsys.PU
+		preset string
 	}{
-		{"CPU, 4KB pages", mem.CPU, 4 << 10},
-		{"GPU, 4KB pages", mem.GPU, 4 << 10},
-		{"GPU, 2MB pages", mem.GPU, 2 << 20},
+		{"CPU, 4KB pages", memsys.CPU, "4k"},
+		{"GPU, 4KB pages", memsys.GPU, "4k"},
+		{"GPU, 2MB pages", memsys.GPU, "2m"},
 	} {
-		tlb := addrspace.MustNewTLB(cfg.pu, 64, 4, cfg.page)
+		stage, err := memsys.NewTranslationStage(xlat.MustParsePreset(cfg.preset))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var now clock.Time
 		for pass := 0; pass < 2; pass++ {
 			for a := uint64(0); a < stream; a += 256 {
-				tlb.Lookup(a)
+				now = stage.Translate(cfg.pu, a, now)
 			}
 		}
-		fmt.Printf("%-16s %v: miss rate %.4f over a %dMB stream\n",
-			cfg.label, tlb, tlb.MissRate(), stream>>20)
+		missRate := float64(stage.Misses(cfg.pu)) / float64(stage.Lookups(cfg.pu))
+		fmt.Printf("%-16s %v: miss rate %.4f, %v walking page tables, over a %dMB stream\n",
+			cfg.label, stage.TLB[cfg.pu], missRate,
+			report.Dur(clock.Duration(stage.WalkPS(cfg.pu))), stream>>20)
 	}
-	fmt.Println("\nLarge GPU pages collapse the TLB miss rate on streams — one of the")
-	fmt.Println("hardware options a per-PU memory model keeps open.")
+	fmt.Println("\nLarge GPU pages collapse the TLB miss rate — and the page-walk time")
+	fmt.Println("behind it — on streams: one of the hardware options a per-PU memory")
+	fmt.Println("model keeps open. `hetsweep -figure 5 -xlat 2m` prices the same")
+	fmt.Println("trade-off inside the full five-system comparison.")
 }

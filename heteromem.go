@@ -30,6 +30,7 @@ import (
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
 	"heteromem/internal/workload"
+	"heteromem/internal/xlat"
 )
 
 // Re-exported core types. The facade uses type aliases so values flow
@@ -69,6 +70,12 @@ type (
 	MemTech = memtech.Spec
 	// MemTechKind names a terminal memory technology.
 	MemTechKind = memtech.Kind
+	// Translation configures the per-PU address-translation front-end
+	// (TLBs, page walks, MMU sharing — the translation design axis). The
+	// zero value keeps translation off the timed path.
+	Translation = xlat.Spec
+	// TranslationMMU names an MMU arrangement (off, private, shared).
+	TranslationMMU = xlat.MMUKind
 )
 
 // The four address-space models (Section II-A, Figure 1).
@@ -109,6 +116,20 @@ const (
 	MemDRAMCache = memtech.DRAMCache
 )
 
+// The MMU arrangements of the translation axis.
+const (
+	// TranslationOff leaves translation off the timed path (the default).
+	TranslationOff = xlat.Off
+	// PrivateMMU gives each PU its own MMU and page walker.
+	PrivateMMU = xlat.Private
+	// SharedMMU makes both PUs contend for one MMU's page walker.
+	SharedMMU = xlat.Shared
+)
+
+// ParseTranslationPreset resolves a named translation preset ("off",
+// "4k", "2m", "4k-shared", "2m-shared") into a Translation spec.
+func ParseTranslationPreset(name string) (Translation, error) { return xlat.ParsePreset(name) }
+
 // Declarative system and grid serialisation (JSON).
 var (
 	// LoadSystem parses a declarative system description.
@@ -144,6 +165,9 @@ var (
 	// CaseStudiesWithTech returns the five case studies re-terminated on
 	// the given memory technology.
 	CaseStudiesWithTech = systems.CaseStudiesWithTech
+	// CaseStudiesWithTranslation returns the five case studies with the
+	// given address-translation spec applied to each.
+	CaseStudiesWithTranslation = systems.CaseStudiesWithTranslation
 	// GraceHopper is the Grace-Hopper-style preset: coherent unified
 	// memory through shared controllers, terminated on HBM.
 	GraceHopper = systems.GraceHopper

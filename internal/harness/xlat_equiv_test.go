@@ -1,0 +1,75 @@
+package harness_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heteromem/internal/harness"
+	"heteromem/internal/systems"
+	"heteromem/internal/xlat"
+)
+
+// TestTranslationDisabledEquivalence is the translation front-end's
+// correctness anchor: with the axis off (the zero Spec every committed
+// system file carries), the full case-study sweep must reproduce the
+// committed Figure 5/6 goldens byte for byte. It never regenerates the
+// goldens — no -update path — so it can only pass if the disabled
+// translation slot leaves the access path exactly as it was before the
+// front-end existed.
+func TestTranslationDisabledEquivalence(t *testing.T) {
+	sysList := systems.CaseStudies()
+	for _, s := range sysList {
+		if !s.Translation.IsZero() {
+			t.Fatalf("%s: case study carries a translation spec", s.Name)
+		}
+	}
+	cells, err := harness.Executor{}.RunSystems(sysList, harness.QuickKernels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, text := range map[string]string{
+		"figure5.txt": harness.RenderFigure5(cells),
+		"figure6.txt": harness.RenderFigure6(cells),
+	} {
+		want, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("missing committed golden %s: %v", name, err)
+		}
+		if text != string(want) {
+			t.Errorf("translation-off diverges from the pre-axis %s golden:\n--- got ---\n%s\n--- want ---\n%s",
+				name, text, want)
+		}
+	}
+}
+
+// Every translation preset must change the breakdown (the axis is real,
+// not cosmetic) and label the result, while keeping the sweep shape.
+func TestTranslationAxisChangesResults(t *testing.T) {
+	kernels := []string{"reduction"}
+	base, err := harness.Executor{}.RunSystems(systems.CaseStudies()[:1], kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base[0].Result.Translation; got != "off" {
+		t.Fatalf("baseline result labeled %q", got)
+	}
+	for _, preset := range xlat.Presets() {
+		if preset == "off" {
+			continue
+		}
+		spec := xlat.MustParsePreset(preset)
+		cells, err := harness.Executor{}.RunSystems(
+			systems.CaseStudiesWithTranslation(spec)[:1], kernels)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if got := cells[0].Result.Translation; got != spec.Label() {
+			t.Errorf("%s: result labeled %q, want %q", preset, got, spec.Label())
+		}
+		if cells[0].Result.Total() == base[0].Result.Total() {
+			t.Errorf("%s: total identical to translation-off baseline (%v) — front-end not on the path",
+				preset, base[0].Result.Total())
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"heteromem/internal/clock"
 	"heteromem/internal/memtech"
+	"heteromem/internal/xlat"
 )
 
 // fastH returns a baseline hierarchy with one CPU line resident and
@@ -243,6 +244,32 @@ func BenchmarkHierarchyAccess(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			now = h.Access(CPU, uint64(i%lines)*64, false, now)
+		}
+	})
+	// The translation front-end on the L1-hit fast path: a warm TLB adds
+	// only the probe, while an ever-cold stream of 4 KB pages walks the
+	// page table on every new page.
+	b.Run("tlb-hit", func(b *testing.B) {
+		cfg := TableII()
+		cfg.Xlat = xlat.MustParsePreset("4k")
+		h := MustNew(cfg)
+		now := h.Access(CPU, 0, false, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now = h.Access(CPU, 0, false, now)
+		}
+	})
+	b.Run("tlb-miss-walk", func(b *testing.B) {
+		cfg := TableII()
+		cfg.Xlat = xlat.MustParsePreset("4k")
+		h := MustNew(cfg)
+		now := clock.Time(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A new 4 KB page every access: every lookup misses and walks.
+			now = h.Access(CPU, uint64(i)*4096, false, now)
 		}
 	})
 }

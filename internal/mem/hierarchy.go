@@ -24,6 +24,7 @@ import (
 	"heteromem/internal/memtech"
 	"heteromem/internal/noc"
 	"heteromem/internal/obs"
+	"heteromem/internal/xlat"
 )
 
 // PU identifies a processing unit attached to the hierarchy.
@@ -115,6 +116,14 @@ type Config struct {
 	// DRAM-cache backend. The DRAM controller is always built — the
 	// memory-controller fabric DMAs through it regardless of Tech.
 	Tech memtech.Spec
+
+	// Xlat selects the address-translation front-end (the translation
+	// design axis). The zero Spec is the paper's baseline — translation
+	// free — and adds nothing to the access path; a non-zero spec puts a
+	// per-PU TLB probe and page-walk model in front of every Access. The
+	// spec's IOMMU mode must already be resolved (auto behaves as off
+	// here; sim resolves it from the system's fabric).
+	Xlat xlat.Spec
 }
 
 // CoherenceMode selects the cross-PU coherence machinery.
@@ -154,6 +163,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("mem: ring has %d stops, hierarchy needs %d", c.Ring.Stops, c.mcStop()+1)
 	}
 	if err := c.Tech.Validate(); err != nil {
+		return fmt.Errorf("mem: %w", err)
+	}
+	if err := c.Xlat.Validate(); err != nil {
 		return fmt.Errorf("mem: %w", err)
 	}
 	return nil
@@ -211,6 +223,13 @@ type Stats struct {
 	// the scratchpad's capacity and forced a full refresh — a workload
 	// placement bug the report should surface, not swallow.
 	ScratchOverflows uint64
+	// Translation counters (all zero with the axis off): TLB probes,
+	// misses, total picoseconds stalled on page walks (including walker
+	// queueing on a shared MMU), and shootdowns at ownership handovers.
+	XlatLookups    [NumPUs]uint64
+	XlatMisses     [NumPUs]uint64
+	XlatWalkPS     [NumPUs]uint64
+	XlatShootdowns [NumPUs]uint64
 }
 
 // Hierarchy is the assembled memory system: the cache/ring/DRAM
@@ -238,7 +257,12 @@ type Hierarchy struct {
 	// backend is the terminal stage selected by cfg.Tech, shared by both
 	// chains and by the L3's victim-writeback path.
 	backend memsys.Backend
-	chain   [NumPUs]memsys.Chain
+	// xlat is the translation front-end selected by cfg.Xlat; nil when
+	// the axis is off. Access charges it directly (before its L1 fast
+	// path), and it is also installed as the chains' Xlat slot so the
+	// staged Run path translates identically.
+	xlat  *memsys.TranslationStage
+	chain [NumPUs]memsys.Chain
 	// req is the reusable transaction: accesses are sequential per
 	// hierarchy (one simulator, one goroutine), so a single request
 	// keeps the miss path allocation-free.
@@ -327,6 +351,7 @@ func (h *Hierarchy) Instrument(reg *obs.Registry) {
 	h.ring.Instrument(reg)
 	h.dram.Instrument(reg)
 	h.backend.Instrument(reg)
+	h.xlat.Instrument(reg)
 }
 
 // InstrumentHost attaches sampled host wall-clock attribution to the
@@ -450,8 +475,14 @@ func (h *Hierarchy) buildPipelines() error {
 		return err
 	}
 	h.l3Stage.Mem = h.backend
+	x, err := memsys.NewTranslationStage(cfg.Xlat)
+	if err != nil {
+		return fmt.Errorf("mem: %w", err)
+	}
+	h.xlat = x
 	for p := PU(0); p < NumPUs; p++ {
 		h.chain[p] = memsys.Chain{
+			Xlat:    h.xlat,
 			Private: h.private[p],
 			MSHR:    &memsys.MSHRStage{File: h.mshr[p]},
 			ReqHop:  &memsys.RingHopStage{Stage: memsys.StageRingReq, Net: h.ring, Topo: h.topo},
@@ -555,6 +586,12 @@ func (h *Hierarchy) Stats() Stats {
 	s.DRAMFills = h.env.DRAMFills
 	s.Writebacks = h.env.Writebacks
 	s.CoherenceOps = h.env.CoherenceOps
+	for p := PU(0); p < NumPUs; p++ {
+		s.XlatLookups[p] = h.xlat.Lookups(memsys.PU(p))
+		s.XlatMisses[p] = h.xlat.Misses(memsys.PU(p))
+		s.XlatWalkPS[p] = h.xlat.WalkPS(memsys.PU(p))
+		s.XlatShootdowns[p] = h.xlat.Shootdowns(memsys.PU(p))
+	}
 	return s
 }
 
@@ -572,6 +609,7 @@ func (h *Hierarchy) Reset() {
 	h.ring.Reset()
 	h.dram.Reset()
 	h.backend.Reset()
+	h.xlat.Reset()
 	for p := PU(0); p < NumPUs; p++ {
 		h.mshr[p].Reset()
 	}
@@ -612,6 +650,7 @@ func (h *Hierarchy) FlushObs() {
 		t.FlushObs()
 	}
 	h.backend.FlushObs()
+	h.xlat.FlushObs()
 }
 
 // Scratchpad returns the GPU's software-managed cache.
@@ -625,6 +664,10 @@ func (h *Hierarchy) Backend() memsys.Backend { return h.backend }
 
 // TechKind returns the configured memory technology.
 func (h *Hierarchy) TechKind() memtech.Kind { return h.cfg.Tech.Kind }
+
+// Translation returns the address-translation front-end, or nil when
+// the axis is off.
+func (h *Hierarchy) Translation() *memsys.TranslationStage { return h.xlat }
 
 // Ring returns the interconnect, for reporting.
 func (h *Hierarchy) Ring() *noc.Ring { return h.ring }
@@ -647,6 +690,12 @@ func (h *Hierarchy) Access(pu PU, addr uint64, write bool, now clock.Time) clock
 		panic(fmt.Sprintf("mem: access from unknown PU %d", pu))
 	}
 	h.stats.Accesses[pu]++
+	if h.xlat != nil {
+		// Translation runs before any cache can be indexed by the
+		// physical address: a TLB hit is free (probe overlaps the L1 tag
+		// check), a miss stalls the access for the page walk.
+		now = h.xlat.Translate(memsys.PU(pu), addr, now)
+	}
 	line := h.topo.Line(addr)
 	slot := &h.memo[pu].slots[(line>>h.lineShift)&(memoSlots-1)]
 	if slot.gen == h.gen[pu] && slot.line == line && h.l1[pu].HitWay(addr, int(slot.way), write) {
@@ -750,6 +799,10 @@ func (h *Hierarchy) Push(pu PU, addr uint64, size uint32, level Level, now clock
 // written back.
 func (h *Hierarchy) FlushPrivate(pu PU) int {
 	h.gen[pu]++ // flushed lines must drop out of the flushing PU's memo
+	// An ownership transfer remaps pages between the PUs' views, so the
+	// handover that flushes the caches also shoots down the TLB (nil-safe
+	// when the translation axis is off).
+	h.xlat.Flush(memsys.PU(pu))
 	if pu == CPU {
 		return h.cpuL1d.FlushAll() + h.cpuL2.FlushAll()
 	}

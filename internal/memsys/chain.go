@@ -18,6 +18,11 @@ import (
 // Stamping matches Pipeline.Run exactly: every executed stage records
 // its completion time, and a Done verdict skips the rest.
 type Chain struct {
+	// Xlat, when non-nil, is the address-translation front-end (the
+	// translation axis): every access is translated before it touches
+	// the private caches. Nil means translation off — no probe, no
+	// branch cost beyond one pointer check.
+	Xlat    *TranslationStage
 	Private *PrivateStage
 	MSHR    *MSHRStage
 	ReqHop  *RingHopStage
@@ -45,7 +50,7 @@ type Chain struct {
 // addresses each stage.
 func ProfSections() []string {
 	return []string{
-		"memsys.private", "memsys.mshr", "memsys.ring_req",
+		"memsys.xlat", "memsys.private", "memsys.mshr", "memsys.ring_req",
 		"memsys.l3", "memsys.dram", "memsys.ring_resp", "memsys.commit",
 	}
 }
@@ -53,7 +58,8 @@ func ProfSections() []string {
 // Offsets of each stage's profiler section from ProfBase, matching
 // ProfSections order.
 const (
-	profPrivate = iota
+	profXlat = iota
+	profPrivate
 	profMSHR
 	profRingReq
 	profL3
@@ -68,6 +74,10 @@ func (c *Chain) Run(r *Request) clock.Time {
 	if c.Prof.Sample() {
 		return c.runProfiled(r, false)
 	}
+	if c.Xlat != nil {
+		c.Xlat.Process(r)
+		r.Stamp[StageXlat] = r.Now
+	}
 	v := c.Private.Process(r)
 	r.Stamp[StagePrivate] = r.Now
 	if v == Done {
@@ -78,7 +88,9 @@ func (c *Chain) Run(r *Request) clock.Time {
 
 // RunMissedL1 continues a request whose first-level lookup was already
 // performed (and missed) by the caller — the hierarchy's L1-hit fast
-// path. r.Now must already include the L1 latency.
+// path. r.Now must already include the L1 latency, and when the
+// translation axis is on the caller has already translated the address
+// (the hierarchy charges Xlat before its L1 probe).
 func (c *Chain) RunMissedL1(r *Request) clock.Time {
 	if c.Prof.Sample() {
 		return c.runProfiled(r, true)
@@ -117,6 +129,12 @@ func (c *Chain) runShared(r *Request) clock.Time {
 // unprofiled path — only real time is measured, so a profiled run stays
 // bit-identical to an unprofiled one.
 func (c *Chain) runProfiled(r *Request, missedL1 bool) clock.Time {
+	if !missedL1 && c.Xlat != nil {
+		t := time.Now()
+		c.Xlat.Process(r)
+		r.Stamp[StageXlat] = r.Now
+		c.Prof.Add(c.ProfBase+profXlat, time.Since(t))
+	}
 	t := time.Now()
 	var v Verdict
 	if missedL1 {

@@ -47,8 +47,12 @@ func (p PU) String() string {
 type StageID uint8
 
 const (
+	// StageXlat is the address-translation front-end: the TLB probe and,
+	// on a miss, the page walk. Present only when the translation axis
+	// is on; with translation off no stage carries this id.
+	StageXlat StageID = iota
 	// StagePrivate is the PU's private level(s): L1, plus L2 on the CPU.
-	StagePrivate StageID = iota
+	StagePrivate
 	// StageMSHR is the miss-status holding register check: a miss to a
 	// line already in flight merges with the outstanding request.
 	StageMSHR
@@ -75,6 +79,8 @@ const (
 
 func (s StageID) String() string {
 	switch s {
+	case StageXlat:
+		return "xlat"
 	case StagePrivate:
 		return "private"
 	case StageMSHR:

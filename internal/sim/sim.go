@@ -35,6 +35,10 @@ type Result struct {
 	// MemTech names the terminal memory technology behind the L3
 	// (dram, hbm, nvm, dram-cache).
 	MemTech string
+	// Translation labels the address-translation front-end the run used
+	// ("off" for the free-translation baseline, otherwise e.g.
+	// "xlat-priv-2m").
+	Translation string
 
 	// The Figure 5 breakdown. Total = Sequential + Parallel + Communication.
 	Sequential    clock.Duration
@@ -203,6 +207,12 @@ func NewWithOptions(sys systems.System, opts Options) (*Simulator, error) {
 		// The system's mem_tech axis selects the hierarchy's terminal
 		// backend; an explicit Hierarchy override may still pre-set it.
 		memCfg.Tech = sys.MemTech
+	}
+	if !sys.Translation.IsZero() {
+		// The translation axis front-ends the hierarchy's access path.
+		// The "auto" IOMMU mode resolves from the fabric here: only the
+		// system knows whether its GPU sits behind an I/O interconnect.
+		memCfg.Xlat = sys.Translation.WithIOMMUResolved(sys.Fabric.RemoteDevice())
 	}
 	hier, err := mem.NewIn(opts.Arena, memCfg)
 	if err != nil {
@@ -411,7 +421,11 @@ func (s *Simulator) allocate(p *workload.Program) error {
 
 // Run executes the program and returns its timing breakdown.
 func (s *Simulator) Run(p *workload.Program) (Result, error) {
-	res := Result{System: s.sys.Name, Kernel: p.Name, MemTech: s.hier.TechKind().String()}
+	res := Result{
+		System: s.sys.Name, Kernel: p.Name,
+		MemTech:     s.hier.TechKind().String(),
+		Translation: s.sys.Translation.Label(),
+	}
 	if err := p.Validate(); err != nil {
 		return res, fmt.Errorf("sim: %w", err)
 	}

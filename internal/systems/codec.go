@@ -24,6 +24,7 @@ import (
 	"heteromem/internal/config"
 	"heteromem/internal/memtech"
 	"heteromem/internal/model"
+	"heteromem/internal/xlat"
 )
 
 // systemJSON is the serialised form of a System. The enum axes marshal
@@ -38,6 +39,10 @@ type systemJSON struct {
 	// MemTech is a pointer so the baseline DRAM selection is omitted
 	// entirely, keeping pre-axis files and hashes byte-identical.
 	MemTech *memtech.Spec `json:"mem_tech,omitempty"`
+	// Translation likewise: the translation-off baseline is omitted
+	// entirely. The field accepts a preset string ("4k", "2m-shared") or
+	// a full object; Save always writes the object form.
+	Translation *xlat.Spec `json:"translation,omitempty"`
 }
 
 // Save serialises the system as indented JSON, suitable for -system
@@ -61,6 +66,10 @@ func Save(s System) ([]byte, error) {
 	if !s.MemTech.IsZero() {
 		mt := s.MemTech
 		j.MemTech = &mt
+	}
+	if !s.Translation.IsZero() {
+		tr := s.Translation
+		j.Translation = &tr
 	}
 	out, err := json.MarshalIndent(j, "", "  ")
 	if err != nil {
@@ -92,6 +101,9 @@ func Load(data []byte) (System, error) {
 	}
 	if j.MemTech != nil {
 		s.MemTech = *j.MemTech
+	}
+	if j.Translation != nil {
+		s.Translation = *j.Translation
 	}
 	if err := s.Validate(); err != nil {
 		return System{}, err

@@ -10,6 +10,7 @@ import (
 	"heteromem/internal/config"
 	"heteromem/internal/memtech"
 	"heteromem/internal/model"
+	"heteromem/internal/xlat"
 )
 
 // Grid declaratively spans a region of the design space as one list per
@@ -32,6 +33,10 @@ type Grid struct {
 	// means the DRAM baseline only (NOT all kinds — the axis multiplies
 	// every grid fourfold, so spanning it is opt-in).
 	MemTechs []memtech.Kind
+	// Translations lists the translation front-ends to combine; empty
+	// means translation off only (opt-in, like MemTechs). Grid files may
+	// give presets ("4k", "2m-shared") or full objects per entry.
+	Translations []xlat.Spec
 	// Params prices communication for every point; the zero value means
 	// Table IV.
 	Params config.CommParams
@@ -48,6 +53,7 @@ type gridJSON struct {
 	Protocols          []model.Kind      `json:"protocols,omitempty"`
 	FaultGranularities []uint64          `json:"fault_granularities,omitempty"`
 	MemTechs           []memtech.Kind    `json:"mem_techs,omitempty"`
+	Translations       []xlat.Spec       `json:"translations,omitempty"`
 	Params             json.RawMessage   `json:"params,omitempty"`
 	Kernels            []string          `json:"kernels,omitempty"`
 }
@@ -72,6 +78,7 @@ func LoadGrid(data []byte) (Grid, error) {
 		Protocols:          j.Protocols,
 		FaultGranularities: j.FaultGranularities,
 		MemTechs:           j.MemTechs,
+		Translations:       j.Translations,
 		Params:             params,
 		Kernels:            j.Kernels,
 	}, nil
@@ -117,6 +124,10 @@ func (g Grid) Enumerate() (points []System, skipped int) {
 	if len(techs) == 0 {
 		techs = []memtech.Kind{memtech.DRAM}
 	}
+	translations := g.Translations
+	if len(translations) == 0 {
+		translations = []xlat.Spec{{}}
+	}
 	params := g.Params
 	if params == (config.CommParams{}) {
 		params = config.TableIV()
@@ -127,24 +138,27 @@ func (g Grid) Enumerate() (points []System, skipped int) {
 			for _, p := range protocols {
 				for _, gran := range granularities {
 					for _, tech := range techs {
-						s := System{
-							Name:                  pointName(m, f, p, gran, tech),
-							Model:                 m,
-							Fabric:                f,
-							Protocol:              p,
-							FaultGranularityBytes: gran,
-							Params:                params,
+						for _, tr := range translations {
+							s := System{
+								Name:                  pointName(m, f, p, gran, tech, tr),
+								Model:                 m,
+								Fabric:                f,
+								Protocol:              p,
+								FaultGranularityBytes: gran,
+								Params:                params,
+								Translation:           tr,
+							}
+							// The DRAM baseline keeps the zero Spec so its
+							// points name and hash exactly as before the axis.
+							if tech != memtech.DRAM {
+								s.MemTech = memtech.Spec{Kind: tech}
+							}
+							if s.Validate() != nil {
+								skipped++
+								continue
+							}
+							points = append(points, s)
 						}
-						// The DRAM baseline keeps the zero Spec so its
-						// points name and hash exactly as before the axis.
-						if tech != memtech.DRAM {
-							s.MemTech = memtech.Spec{Kind: tech}
-						}
-						if s.Validate() != nil {
-							skipped++
-							continue
-						}
-						points = append(points, s)
 					}
 				}
 			}
@@ -156,13 +170,16 @@ func (g Grid) Enumerate() (points []System, skipped int) {
 // pointName encodes a design point's axis coordinates. Baseline values
 // (whole-object granularity, DRAM) are elided so pre-axis names are
 // stable.
-func pointName(m addrspace.Model, f FabricKind, p model.Kind, gran uint64, tech memtech.Kind) string {
+func pointName(m addrspace.Model, f FabricKind, p model.Kind, gran uint64, tech memtech.Kind, tr xlat.Spec) string {
 	name := fmt.Sprintf("%v/%v/%v", m, f, p)
 	if gran > 0 {
 		name += fmt.Sprintf("/pg%d", gran)
 	}
 	if tech != memtech.DRAM {
 		name += "/" + tech.String()
+	}
+	if !tr.IsZero() {
+		name += "/" + tr.Label()
 	}
 	return name
 }

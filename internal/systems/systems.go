@@ -19,6 +19,7 @@ import (
 	"heteromem/internal/dram"
 	"heteromem/internal/memtech"
 	"heteromem/internal/model"
+	"heteromem/internal/xlat"
 )
 
 // FabricKind names a hardware communication mechanism.
@@ -85,6 +86,19 @@ func AllFabrics() []FabricKind {
 	return []FabricKind{FabricPCIe, FabricPCIeAsync, FabricAperture, FabricMemCtrl, FabricIdeal}
 }
 
+// RemoteDevice reports whether the fabric puts the GPU behind an I/O
+// interconnect (PCI-E or the PCI aperture), where the device's page
+// walks go through an IOMMU rather than a core MMU. The translation
+// axis resolves its "auto" IOMMU mode through this.
+func (f FabricKind) RemoteDevice() bool {
+	switch f {
+	case FabricPCIe, FabricPCIeAsync, FabricAperture:
+		return true
+	default:
+		return false
+	}
+}
+
 // System is one heterogeneous system configuration: a declarative
 // composition of the design-space axes. All systems share the same CPUs,
 // GPUs and cache hierarchy (the paper isolates memory-system effects);
@@ -112,6 +126,12 @@ type System struct {
 	// L3 (the mem_tech design axis). The zero Spec is the paper's DDR3
 	// baseline, so existing system files and their hashes are unchanged.
 	MemTech memtech.Spec
+	// Translation selects the address-translation front-end (the
+	// translation design axis): per-PU TLB geometry and page size, MMU
+	// sharing, page-walk cost and the IOMMU mode. The zero Spec is the
+	// paper's baseline — translation free — so existing system files and
+	// their hashes are unchanged.
+	Translation xlat.Spec
 }
 
 // ErrIncoherent reports a system configuration whose axes contradict
@@ -152,6 +172,11 @@ func (s System) Validate() error {
 	// contradictions, so they do not wrap ErrIncoherent; the memtech
 	// messages carry the JSON path of the offending field.
 	if err := s.MemTech.Validate(); err != nil {
+		return fmt.Errorf("system %q: %w", s.Name, err)
+	}
+	// Likewise for malformed translation blocks: parameter errors with
+	// JSON paths, not ErrIncoherent contradictions.
+	if err := s.Translation.Validate(); err != nil {
 		return fmt.Errorf("system %q: %w", s.Name, err)
 	}
 	return nil
@@ -263,6 +288,22 @@ func CaseStudiesWithTech(k memtech.Kind) []System {
 	}
 	for i := range out {
 		out[i].MemTech = memtech.Spec{Kind: k}
+	}
+	return out
+}
+
+// CaseStudiesWithTranslation returns the five case studies with the
+// given translation front-end, for re-running the Figure 5 comparison
+// across the translation axis. Names are unchanged so per-sweep reports
+// normalise against the same baseline labels; a zero spec returns the
+// untouched baseline.
+func CaseStudiesWithTranslation(spec xlat.Spec) []System {
+	out := CaseStudies()
+	if spec.IsZero() {
+		return out
+	}
+	for i := range out {
+		out[i].Translation = spec
 	}
 	return out
 }

@@ -1,0 +1,168 @@
+package systems
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"heteromem/internal/xlat"
+)
+
+func TestTranslationZeroSpecOmittedFromSave(t *testing.T) {
+	for _, s := range append(CaseStudies(), GraceHopper()) {
+		data, err := Save(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if bytes.Contains(data, []byte("translation")) {
+			t.Errorf("%s: zero Translation spec serialised:\n%s", s.Name, data)
+		}
+	}
+}
+
+// The canonical hashes of the pre-axis systems, captured before the
+// translation axis existed. systems.Hash keys result caches and run
+// manifests, so adding an axis must not move any existing point.
+func TestHashStableAcrossTranslationAxis(t *testing.T) {
+	pinned := map[string]string{
+		"CPU+GPU":      "sha256:d5c00861c73c6839e3cb512953c4a137072d448e69599fb5bd84897d05f94c62",
+		"LRB":          "sha256:abfd7b2cd050a15ddd32ca0e8e1bb75b483c9d897ca05b46278df27de0d6069b",
+		"GMAC":         "sha256:ac8871e1b9c94ed11a4fb1243f69ce79eb5cad8e34125aefe6331feae8ba88b5",
+		"Fusion":       "sha256:3800fe6fd7a6e9d1371c1b26f32b03de420c877d6988720432db2af636aaf002",
+		"IDEAL-HETERO": "sha256:b2be246c007d160d081016f1274b7455b551026be084427099d3b5140f16d8b4",
+		"grace-hopper": "sha256:a6f05a6291a7c2a367246f68857eb6b3792ada76ded6b65163e35f4d1315fc1c",
+	}
+	for _, s := range append(CaseStudies(), GraceHopper()) {
+		want, ok := pinned[s.Name]
+		if !ok {
+			t.Fatalf("no pinned hash for %s", s.Name)
+		}
+		if got := Hash(s); got != want {
+			t.Errorf("%s: hash moved: %s (pinned %s)", s.Name, got, want)
+		}
+	}
+}
+
+func TestTranslationRoundTrip(t *testing.T) {
+	s := LRB()
+	s.Translation = xlat.Spec{
+		MMU: xlat.Shared,
+		GPU: &xlat.TLBParams{Entries: 128, PageBytes: 2 << 20},
+		Walk: &xlat.WalkParams{
+			Levels: 5, LevelPS: 25_000, CacheEntries: 32, IOMMUExtraPS: 150_000,
+		},
+		IOMMU: xlat.IOMMUOn,
+	}
+	data, err := Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"translation"`)) {
+		t.Fatalf("translation block missing:\n%s", data)
+	}
+	got, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Translation.MMU != s.Translation.MMU ||
+		got.Translation.IOMMU != s.Translation.IOMMU ||
+		*got.Translation.GPU != *s.Translation.GPU ||
+		*got.Translation.Walk != *s.Translation.Walk ||
+		got.Translation.CPU != nil {
+		t.Fatalf("round trip changed translation: %+v -> %+v", s.Translation, got.Translation)
+	}
+}
+
+func TestTranslationPresetStringInSystemFile(t *testing.T) {
+	got, err := Load([]byte(`{
+  "name": "LRB-2M",
+  "model": "partially-shared",
+  "fabric": "pci-aperture",
+  "protocol": "ownership-first-touch",
+  "params": "table-iv",
+  "translation": "2m"
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Translation.MMU != xlat.Private || got.Translation.ResolvedGPU().PageBytes != 2<<20 {
+		t.Fatalf("preset string decoded to %+v", got.Translation)
+	}
+}
+
+func TestTranslationUnknownFieldRejected(t *testing.T) {
+	_, err := Load([]byte(`{
+  "name": "x",
+  "model": "partially-shared",
+  "fabric": "pci-aperture",
+  "protocol": "ownership-first-touch",
+  "translation": {"mmu": "private", "page_size": 4096}
+}`))
+	if err == nil {
+		t.Fatal("unknown field inside translation block accepted")
+	}
+	if !strings.Contains(err.Error(), "page_size") {
+		t.Fatalf("error does not name the bad field: %v", err)
+	}
+}
+
+func TestTranslationValidateCarriesSystemAndPath(t *testing.T) {
+	s := LRB()
+	s.Translation = xlat.Spec{MMU: xlat.Private, CPU: &xlat.TLBParams{Entries: 100}}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("bad translation spec accepted")
+	}
+	for _, want := range []string{`system "LRB"`, "translation.cpu.entries"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestGridTranslationsAxis(t *testing.T) {
+	g, err := LoadGrid([]byte(`{
+  "name": "xlat-sweep",
+  "models": ["partially-shared"],
+  "fabrics": ["pci-aperture"],
+  "protocols": ["ownership-first-touch"],
+  "translations": ["4k", "2m", "4k-shared", "2m-shared"]
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, skipped := g.Enumerate()
+	if skipped != 0 || len(points) != 4 {
+		t.Fatalf("points=%d skipped=%d", len(points), skipped)
+	}
+	names := map[string]bool{}
+	for _, p := range points {
+		names[p.Name] = true
+		if p.Translation.IsZero() {
+			t.Errorf("%s: zero translation", p.Name)
+		}
+	}
+	for _, want := range []string{
+		"partially-shared/pci-aperture/ownership-first-touch/xlat-priv-4k",
+		"partially-shared/pci-aperture/ownership-first-touch/xlat-shared-2m",
+	} {
+		if !names[want] {
+			t.Errorf("missing point %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestGridWithoutTranslationsKeepsPointNames(t *testing.T) {
+	full, skippedFull := (Grid{}).Enumerate()
+	for _, p := range full {
+		if strings.Contains(p.Name, "xlat") {
+			t.Errorf("translation suffix leaked into baseline point %s", p.Name)
+		}
+		if !p.Translation.IsZero() {
+			t.Errorf("baseline point %s has translation on", p.Name)
+		}
+	}
+	if len(full) == 0 || skippedFull == 0 {
+		t.Fatalf("default grid shape unexpected: %d points, %d skipped", len(full), skippedFull)
+	}
+}

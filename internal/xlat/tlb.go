@@ -1,21 +1,24 @@
-package addrspace
+package xlat
 
 import (
 	"fmt"
 	"math/bits"
-
-	"heteromem/internal/mem"
 )
 
-// TLB models a per-PU translation lookaside buffer. Section II-A1 notes
-// that a virtually unified address space lets each PU pick its own page
-// size — GPUs use large pages to cover streaming working sets with few
-// entries — but that differing page-table formats complicate TLB and
-// memory-management design. The TLB quantifies the first half: reach is
-// entries x page size, so the same working set costs different miss
-// counts per PU.
+// TLB models one translation lookaside buffer: set-associative, LRU,
+// with a configurable page size. Section II-A1 notes that a virtually
+// unified address space lets each PU pick its own page size — GPUs use
+// large pages to cover streaming working sets with few entries — but
+// that differing page-table formats complicate TLB and
+// memory-management design. Reach is entries × page size, so the same
+// working set costs different miss counts per PU. The same structure
+// also serves as the walk cache (a "TLB" over last-level page-table
+// pages).
+//
+// The TLB is untimed: Lookup reports hit/miss and installs on miss; the
+// page-walk cost of a miss is priced by the caller
+// (memsys.TranslationStage charges it through the clock).
 type TLB struct {
-	pu        mem.PU
 	pageBits  uint
 	sets      [][]tlbEntry
 	setMask   uint64
@@ -31,20 +34,19 @@ type tlbEntry struct {
 	lastUse uint64
 }
 
-// NewTLB returns a TLB for pu with the given number of entries (power of
-// two), associativity, and page size (power of two).
-func NewTLB(pu mem.PU, entries, ways int, pageSize uint64) (*TLB, error) {
+// NewTLB returns a TLB with the given number of entries (power of two),
+// associativity, and page size (power of two).
+func NewTLB(entries, ways int, pageSize uint64) (*TLB, error) {
 	switch {
 	case entries <= 0 || bits.OnesCount(uint(entries)) != 1:
-		return nil, fmt.Errorf("addrspace: TLB entries %d not a positive power of two", entries)
+		return nil, fmt.Errorf("xlat: TLB entries %d not a positive power of two", entries)
 	case ways <= 0 || entries%ways != 0:
-		return nil, fmt.Errorf("addrspace: TLB ways %d does not divide entries %d", ways, entries)
+		return nil, fmt.Errorf("xlat: TLB ways %d does not divide entries %d", ways, entries)
 	case pageSize == 0 || pageSize&(pageSize-1) != 0:
-		return nil, fmt.Errorf("addrspace: TLB page size %d not a power of two", pageSize)
+		return nil, fmt.Errorf("xlat: TLB page size %d not a power of two", pageSize)
 	}
 	numSets := entries / ways
 	t := &TLB{
-		pu:       pu,
 		pageBits: uint(bits.TrailingZeros64(pageSize)),
 		sets:     make([][]tlbEntry, numSets),
 		setMask:  uint64(numSets - 1),
@@ -57,8 +59,8 @@ func NewTLB(pu mem.PU, entries, ways int, pageSize uint64) (*TLB, error) {
 }
 
 // MustNewTLB is NewTLB but panics on configuration error.
-func MustNewTLB(pu mem.PU, entries, ways int, pageSize uint64) *TLB {
-	t, err := NewTLB(pu, entries, ways, pageSize)
+func MustNewTLB(entries, ways int, pageSize uint64) *TLB {
+	t, err := NewTLB(entries, ways, pageSize)
 	if err != nil {
 		panic(err)
 	}
@@ -118,13 +120,21 @@ func (t *TLB) Invalidate(addr uint64) bool {
 	return false
 }
 
-// Flush invalidates every entry.
+// Flush invalidates every entry (a shootdown); counters are kept so a
+// run's totals survive ownership handovers.
 func (t *TLB) Flush() {
 	for s := range t.sets {
 		for i := range t.sets[s] {
 			t.sets[s][i] = tlbEntry{}
 		}
 	}
+}
+
+// Reset returns the TLB to its just-constructed state: entries and
+// counters both cleared (the simulator Reset() lifecycle).
+func (t *TLB) Reset() {
+	t.Flush()
+	t.hits, t.misses, t.evictions, t.tick = 0, 0, 0, 0
 }
 
 // Hits returns the hit count.
@@ -146,6 +156,6 @@ func (t *TLB) MissRate() float64 {
 }
 
 func (t *TLB) String() string {
-	return fmt.Sprintf("%v-tlb(%d entries, %dB pages, reach %dKB)",
-		t.pu, len(t.sets)*len(t.sets[0]), t.PageSize(), t.Reach()>>10)
+	return fmt.Sprintf("tlb(%d entries, %dB pages, reach %dKB)",
+		len(t.sets)*len(t.sets[0]), t.PageSize(), t.Reach()>>10)
 }

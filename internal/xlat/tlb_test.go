@@ -1,11 +1,9 @@
-package addrspace
+package xlat
 
 import (
 	"strings"
 	"testing"
 	"testing/quick"
-
-	"heteromem/internal/mem"
 )
 
 func TestTLBValidation(t *testing.T) {
@@ -16,17 +14,17 @@ func TestTLBValidation(t *testing.T) {
 		{0, 1, 4096}, {100, 4, 4096}, {64, 3, 4096}, {64, 4, 1000}, {64, 4, 0},
 	}
 	for i, c := range bad {
-		if _, err := NewTLB(mem.CPU, c.entries, c.ways, c.page); err == nil {
+		if _, err := NewTLB(c.entries, c.ways, c.page); err == nil {
 			t.Errorf("bad TLB config %d accepted", i)
 		}
 	}
-	if _, err := NewTLB(mem.CPU, 64, 4, 4096); err != nil {
+	if _, err := NewTLB(64, 4, 4096); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
 }
 
 func TestTLBHitAfterMiss(t *testing.T) {
-	tl := MustNewTLB(mem.CPU, 64, 4, 4096)
+	tl := MustNewTLB(64, 4, 4096)
 	if tl.Lookup(0x12345) {
 		t.Fatal("cold TLB hit")
 	}
@@ -45,15 +43,15 @@ func TestTLBHitAfterMiss(t *testing.T) {
 }
 
 func TestTLBReach(t *testing.T) {
-	small := MustNewTLB(mem.CPU, 64, 4, 4096)
-	large := MustNewTLB(mem.GPU, 64, 4, 2<<20)
+	small := MustNewTLB(64, 4, 4096)
+	large := MustNewTLB(64, 4, 2<<20)
 	if small.Reach() != 64*4096 {
 		t.Errorf("small reach = %d", small.Reach())
 	}
 	if large.Reach() != 64*(2<<20) {
 		t.Errorf("large reach = %d", large.Reach())
 	}
-	if !strings.Contains(large.String(), "gpu") {
+	if !strings.Contains(large.String(), "entries") {
 		t.Errorf("String() = %q", large.String())
 	}
 }
@@ -63,7 +61,7 @@ func TestLargePagesCoverStreamingSet(t *testing.T) {
 	// locality. Walk an 8 MB stream with 4 KB vs 2 MB pages.
 	const streamBytes = 8 << 20
 	walk := func(pageSize uint64) float64 {
-		tl := MustNewTLB(mem.GPU, 64, 4, pageSize)
+		tl := MustNewTLB(64, 4, pageSize)
 		for pass := 0; pass < 2; pass++ {
 			for a := uint64(0); a < streamBytes; a += 64 {
 				tl.Lookup(a)
@@ -83,7 +81,7 @@ func TestLargePagesCoverStreamingSet(t *testing.T) {
 
 func TestTLBEvictionLRU(t *testing.T) {
 	// Direct-ish: 4 entries, 4 ways = 1 set.
-	tl := MustNewTLB(mem.CPU, 4, 4, 4096)
+	tl := MustNewTLB(4, 4, 4096)
 	for p := uint64(0); p < 4; p++ {
 		tl.Lookup(p * 4096)
 	}
@@ -101,7 +99,7 @@ func TestTLBEvictionLRU(t *testing.T) {
 }
 
 func TestTLBInvalidateAndFlush(t *testing.T) {
-	tl := MustNewTLB(mem.CPU, 16, 4, 4096)
+	tl := MustNewTLB(16, 4, 4096)
 	tl.Lookup(0x4000)
 	if !tl.Invalidate(0x4000) {
 		t.Fatal("invalidate of present entry failed")
@@ -119,8 +117,25 @@ func TestTLBInvalidateAndFlush(t *testing.T) {
 	}
 }
 
+func TestTLBFlushKeepsCountersResetClears(t *testing.T) {
+	tl := MustNewTLB(16, 4, 4096)
+	tl.Lookup(0x4000)
+	tl.Lookup(0x4000)
+	tl.Flush()
+	if tl.Hits() != 1 || tl.Misses() != 1 {
+		t.Fatalf("flush lost counters: hits=%d misses=%d", tl.Hits(), tl.Misses())
+	}
+	tl.Reset()
+	if tl.Hits() != 0 || tl.Misses() != 0 || tl.Evictions() != 0 {
+		t.Fatal("reset kept counters")
+	}
+	if tl.Lookup(0x4000) {
+		t.Fatal("hit after reset")
+	}
+}
+
 func TestTLBMissRateZeroInitially(t *testing.T) {
-	tl := MustNewTLB(mem.CPU, 16, 4, 4096)
+	tl := MustNewTLB(16, 4, 4096)
 	if tl.MissRate() != 0 {
 		t.Fatal("miss rate before lookups")
 	}
@@ -130,7 +145,7 @@ func TestTLBMissRateZeroInitially(t *testing.T) {
 // always hits, and hits+misses equals lookups.
 func TestTLBRepeatHitProperty(t *testing.T) {
 	f := func(addrs []uint32) bool {
-		tl := MustNewTLB(mem.GPU, 32, 4, 4096)
+		tl := MustNewTLB(32, 4, 4096)
 		var lookups uint64
 		for _, a := range addrs {
 			tl.Lookup(uint64(a))
@@ -148,7 +163,7 @@ func TestTLBRepeatHitProperty(t *testing.T) {
 }
 
 func BenchmarkTLBLookup(b *testing.B) {
-	tl := MustNewTLB(mem.CPU, 64, 4, 4096)
+	tl := MustNewTLB(64, 4, 4096)
 	for i := 0; i < b.N; i++ {
 		tl.Lookup(uint64(i%1024) * 4096)
 	}
