@@ -26,6 +26,7 @@ import (
 	"heteromem/internal/mem"
 	"heteromem/internal/memtech"
 	"heteromem/internal/obs"
+	"heteromem/internal/rescache"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
 	"heteromem/internal/workload"
@@ -278,6 +279,72 @@ func BenchmarkTranslation(b *testing.B) {
 				float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/op")
 		})
 	}
+}
+
+// --- Result cache (DESIGN.md section 15) ---
+
+// BenchmarkSweepWarmCache prices a fully warm sweep: the case-study
+// grid is simulated once into a disk cache, then every iteration
+// re-runs the sweep through a fresh store on the same directory — a
+// cold memory tier, so each cell is a disk probe, decode and promote,
+// never a simulation. Compare against BenchmarkFigure5CaseStudies for
+// the cold cost of the same cells.
+func BenchmarkSweepWarmCache(b *testing.B) {
+	dir := b.TempDir()
+	sysList := systems.CaseStudies()
+	seed, err := rescache.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold, err := harness.Executor{Cache: seed}.RunSystems(sysList, figureKernels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(cold)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store, err := rescache.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells, err := harness.Executor{Cache: store}.RunSystems(sysList, figureKernels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := store.Stats(); st.Hits != uint64(n) || st.Misses != 0 {
+			b.Fatalf("warm sweep stats = %+v, want %d pure hits", st, n)
+		}
+		if len(cells) != n {
+			b.Fatalf("got %d cells, want %d", len(cells), n)
+		}
+	}
+	b.StopTimer()
+	reportMetric(b, float64(n), "cells/op")
+	benchJSON.Add(b.Name()+"/ns_op",
+		float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/op")
+}
+
+// BenchmarkPointKey prices the cache key derivation itself — the cost a
+// cache probe adds to every cell even on a miss, dominated by
+// systems.Hash and the workload fingerprint. Uses a streaming program
+// as the sweep does (generator-backed phases are fingerprinted by their
+// counts); materialized -saveprog programs additionally hash their full
+// instruction streams.
+func BenchmarkPointKey(b *testing.B) {
+	sys := systems.LRB()
+	p, err := workload.Open("reduction")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var d string
+	for i := 0; i < b.N; i++ {
+		d = harness.PointKey(sys, p, sim.Options{}).Digest()
+	}
+	if len(d) != 64 {
+		b.Fatalf("digest %q", d)
+	}
+	benchJSON.Add(b.Name()+"/ns_op",
+		float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/op")
 }
 
 // --- Ablations (DESIGN.md section 5) ---

@@ -6,6 +6,7 @@
 //
 //	hetsim -system LRB -kernel reduction
 //	hetsim -all -kernel merge-sort
+//	hetsim -all -kernel fft -cache .hetcache   # reuse/fill the result cache
 package main
 
 import (
@@ -21,10 +22,12 @@ import (
 	"heteromem/internal/clock"
 	"heteromem/internal/config"
 	"heteromem/internal/energy"
+	"heteromem/internal/harness"
 	"heteromem/internal/locality"
 	"heteromem/internal/obs"
 	"heteromem/internal/prof"
 	"heteromem/internal/report"
+	"heteromem/internal/rescache"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
 	"heteromem/internal/workload"
@@ -43,6 +46,7 @@ func main() {
 		loc      = flag.String("locality", "", "apply a locality scheme: expl-shared, expl-private, or hybrid")
 		energyOn = flag.Bool("energy", false, "print the estimated energy breakdown")
 		xlatName = flag.String("xlat", "", "override the system's address-translation front-end with a preset ("+strings.Join(xlat.Presets(), ", ")+")")
+		cacheDir = flag.String("cache", "", "persistent result-cache directory shared with hetsweep: serve previously simulated points from the cache and store new results into it")
 
 		jsonOut        = flag.Bool("json", false, "emit the full results as JSON to stdout instead of tables")
 		traceOut       = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (single system only)")
@@ -59,6 +63,20 @@ func main() {
 		*serveAddr != "" || *hostprofEvery > 0
 	if (*traceOut != "" || *intervalOut != "" || *metricsOut != "") && *all {
 		log.Fatal("-trace, -interval-stats and -metrics-json apply to a single system; drop -all")
+	}
+
+	var cache *rescache.Store
+	if *cacheDir != "" {
+		var err error
+		if cache, err = rescache.Open(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+		if observing {
+			// Instrumented runs exist for their side channels (traces,
+			// interval CSVs, live metrics), which a cache hit would leave
+			// empty — simulate everything, but still fill the cache.
+			log.Print("observability sinks requested: cache hits disabled for this run; results are still stored")
+		}
 	}
 
 	opts := sim.Options{}
@@ -157,13 +175,27 @@ func main() {
 	progress.setTotal(len(sysList))
 	for _, sys := range sysList {
 		progress.setCurrent(sys.Name, p.Name)
-		s, err := sim.NewWithOptions(sys, opts)
-		if err != nil {
-			log.Fatal(err)
+		var key rescache.Key
+		if cache != nil {
+			key = harness.PointKey(sys, p, opts)
 		}
-		res, err := s.Run(p)
-		if err != nil {
-			log.Fatal(err)
+		var res sim.Result
+		if hit, ok := lookup(cache, key, observing); ok {
+			// The spec hash is name-invariant; restamp the cached result
+			// with this run's labels.
+			hit.System, hit.Kernel = sys.Name, p.Name
+			res = hit
+		} else {
+			s, err := sim.NewWithOptions(sys, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res, err = s.Run(p); err != nil {
+				log.Fatal(err)
+			}
+			if err := cache.Put(key, res); err != nil {
+				log.Printf("warning: %v", err)
+			}
 		}
 		progress.finishCurrent()
 		results = append(results, res)
@@ -171,6 +203,13 @@ func main() {
 			report.Dur(res.Sequential), report.Dur(res.Parallel),
 			report.Dur(res.Communication), report.Dur(res.Total()),
 			report.Pct(res.CommFraction()))
+	}
+	if cache != nil {
+		st := cache.Stats()
+		log.Printf("cache %s: %d hits, %d misses", cache.Dir(), st.Hits, st.Misses)
+		if err := cache.Err(); err != nil {
+			log.Printf("warning: cache degraded to memory-only: %v", err)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -204,6 +243,16 @@ func main() {
 		fmt.Print(etbl.String())
 	}
 	_ = os.Stdout.Sync()
+}
+
+// lookup probes the result cache unless caching is off or the run is
+// instrumented (a hit would skip the simulation the sinks exist to
+// observe).
+func lookup(cache *rescache.Store, key rescache.Key, observing bool) (sim.Result, bool) {
+	if cache == nil || observing {
+		return sim.Result{}, false
+	}
+	return cache.Get(key)
 }
 
 // runProgress is the /progress document for a hetsim run: which system

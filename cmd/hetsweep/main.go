@@ -14,6 +14,16 @@
 // introspection server (/progress, /metrics, pprof) and -out writes a
 // run-artifact directory (manifest.json, run ledger, aggregate metrics,
 // per-cell interval CSVs, Perfetto worker trace).
+//
+// A sweep can be memoized across runs: -cache <dir> keeps a persistent
+// content-addressed result cache — any cell simulated by this or any
+// earlier run is served from the cache without touching a simulator,
+// and -cache-verify re-simulates a sampled fraction of hits to prove
+// the cache exact (see DESIGN.md §15).
+//
+//	hetsweep -grid g.json -cache .hetcache            # cold: fills
+//	hetsweep -grid g.json -cache .hetcache            # warm: all hits
+//	hetsweep -grid g.json -cache .hetcache -cache-verify 0.1
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"heteromem/internal/memtech"
 	"heteromem/internal/prof"
 	"heteromem/internal/report"
+	"heteromem/internal/rescache"
 	"heteromem/internal/systems"
 	"heteromem/internal/xlat"
 )
@@ -53,6 +64,9 @@ func main() {
 		xlatName    = flag.String("xlat", "off", "address-translation preset for the case-study sweep ("+strings.Join(xlat.Presets(), ", ")+")")
 		par         = flag.Int("par", 0, "sweep worker count (0 = GOMAXPROCS)")
 
+		cacheDir    = flag.String("cache", "", "content-addressed result cache directory: probe every cell before simulating, serve hits without a simulator, fill misses (see DESIGN.md §15)")
+		cacheVerify = flag.Float64("cache-verify", 0, "re-simulate this fraction of cache hits (deterministically sampled) and fail loudly on any mismatch — the determinism tripwire; 0 disables")
+
 		serveAddr      = flag.String("serve", "", "serve live sweep introspection (/progress, /metrics, pprof) on this address while running")
 		outDir         = flag.String("out", "", "write the run-artifact directory (manifest.json, ledger.jsonl, metrics.json, trace.json, results.csv, intervals/)")
 		intervalCycles = flag.Uint64("interval-cycles", 100_000, "per-cell interval-CSV epoch length in CPU cycles under -out (0 = no interval CSVs)")
@@ -61,16 +75,37 @@ func main() {
 	flag.Parse()
 	defer prof.Start()()
 
+	var cache *rescache.Store
+	if *cacheVerify < 0 || *cacheVerify > 1 {
+		log.Fatalf("-cache-verify %v: fraction must be in [0, 1]", *cacheVerify)
+	}
+	if *cacheDir != "" {
+		var err error
+		if cache, err = rescache.Open(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			st := cache.Stats()
+			log.Printf("cache %s: %d hits, %d misses (%.1f%% hit rate), %d B read, %d B written",
+				*cacheDir, st.Hits, st.Misses, 100*st.HitRate(), st.BytesRead, st.BytesWritten)
+			if err := cache.Err(); err != nil {
+				log.Printf("warning: cache writes degraded to memory-only: %v", err)
+			}
+		}()
+	} else if *cacheVerify > 0 {
+		log.Fatal("-cache-verify needs -cache")
+	}
+
 	obsRun, err := setupObservability(observeConfig{
 		OutDir: *outDir, ServeAddr: *serveAddr,
 		IntervalCycles: *intervalCycles, HostProfEvery: *hostprofEvery,
-		Par: *par,
+		Par: *par, Cache: cache,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer obsRun.close()
-	exec := harness.Executor{Par: *par, Obs: obsRun.observer()}
+	exec := harness.Executor{Par: *par, Obs: obsRun.observer(), Cache: cache, CacheVerify: *cacheVerify}
 
 	kernels := harness.DefaultKernels()
 	if *quick {

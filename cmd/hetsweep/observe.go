@@ -12,6 +12,7 @@ import (
 	"heteromem/internal/config"
 	"heteromem/internal/harness"
 	"heteromem/internal/obs"
+	"heteromem/internal/rescache"
 	"heteromem/internal/systems"
 )
 
@@ -22,6 +23,8 @@ type observeConfig struct {
 	IntervalCycles uint64
 	HostProfEvery  int
 	Par            int
+	// Cache is the sweep's result cache, reported in the manifest.
+	Cache *rescache.Store
 }
 
 // observedRun owns a sweep's observability lifetime: the harness
@@ -194,6 +197,21 @@ type runManifest struct {
 	Systems     []manifestSystem `json:"systems,omitempty"`
 	Cells       int              `json:"cells"`
 	Failed      int              `json:"failed"`
+	Cache       *manifestCache   `json:"cache,omitempty"`
+}
+
+// manifestCache summarizes the run's result-cache traffic: how much of
+// the sweep was served from the cache rather than simulated, and how
+// many hits the -cache-verify tripwire re-simulated.
+type manifestCache struct {
+	Dir           string  `json:"dir,omitempty"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	CachedCells   int     `json:"cached_cells"`
+	VerifiedCells int     `json:"verified_cells,omitempty"`
+	BytesRead     uint64  `json:"bytes_read,omitempty"`
+	BytesWritten  uint64  `json:"bytes_written,omitempty"`
 }
 
 func (r *observedRun) manifest() runManifest {
@@ -223,6 +241,19 @@ func (r *observedRun) manifest() runManifest {
 		m.Kernels = r.sweep.kernels
 		for _, s := range r.sweep.systems {
 			m.Systems = append(m.Systems, manifestSystem{Name: s.Name, Spec: systems.Hash(s)})
+		}
+	}
+	if r.cfg.Cache != nil {
+		st := r.cfg.Cache.Stats()
+		m.Cache = &manifestCache{
+			Dir:           r.cfg.Cache.Dir(),
+			Hits:          st.Hits,
+			Misses:        st.Misses,
+			HitRate:       st.HitRate(),
+			CachedCells:   prog.CachedCells,
+			VerifiedCells: prog.VerifiedCells,
+			BytesRead:     st.BytesRead,
+			BytesWritten:  st.BytesWritten,
 		}
 	}
 	return m

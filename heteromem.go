@@ -27,6 +27,7 @@ import (
 	"heteromem/internal/locality"
 	"heteromem/internal/memtech"
 	"heteromem/internal/model"
+	"heteromem/internal/rescache"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
 	"heteromem/internal/workload"
@@ -76,6 +77,13 @@ type (
 	Translation = xlat.Spec
 	// TranslationMMU names an MMU arrangement (off, private, shared).
 	TranslationMMU = xlat.MMUKind
+	// ResultCache is the persistent content-addressed cache of simulation
+	// results; attach one to a sweep Executor or probe it directly with a
+	// PointKey. Exact because the simulator is deterministic.
+	ResultCache = rescache.Store
+	// ResultCacheKey identifies one simulation exactly (design point,
+	// kernel, workload shape, result-affecting options).
+	ResultCacheKey = rescache.Key
 )
 
 // The four address-space models (Section II-A, Figure 1).
@@ -251,4 +259,9 @@ var (
 	RenderFigure6 = harness.RenderFigure6
 	// RenderFigure7 formats an address-space sweep as Figure 7.
 	RenderFigure7 = harness.RenderFigure7
+	// OpenResultCache opens (or creates) a persistent result cache at a
+	// directory; "" opens a memory-only store.
+	OpenResultCache = rescache.Open
+	// PointKey derives the exact cache key for (system, program, options).
+	PointKey = harness.PointKey
 )

@@ -23,6 +23,7 @@ import (
 	"heteromem/internal/mem"
 	"heteromem/internal/obs"
 	"heteromem/internal/report"
+	"heteromem/internal/rescache"
 	"heteromem/internal/sim"
 	"heteromem/internal/systems"
 	"heteromem/internal/workload"
@@ -69,6 +70,19 @@ type Executor struct {
 	// traces, per-cell interval sampling. Nil keeps the sweep fully
 	// uninstrumented.
 	Obs *Observer
+	// Cache, when non-nil, memoizes cells through the content-addressed
+	// result cache: every cell is probed up front, hits are served
+	// without touching a simulator (the pooled simulators are never
+	// built for an all-hit sweep), and only misses are dispatched to
+	// the worker pool, which fills the cache as it completes them.
+	// Determinism makes the cache exact — see internal/rescache.
+	Cache *rescache.Store
+	// CacheVerify, in (0, 1], re-simulates that fraction of cache hits
+	// and fails the sweep loudly if a cached result differs from the
+	// fresh simulation — the determinism tripwire. Sampling is
+	// deterministic per key. Zero disables verification; ignored
+	// without Cache.
+	CacheVerify float64
 }
 
 // RunCaseStudies simulates the five Figure 5 systems over the named
@@ -92,6 +106,12 @@ func (e Executor) RunAddressSpaces(kernels []string) ([]Cell, error) {
 // deterministic and returned in kernel-major, system-minor order
 // regardless of scheduling. All failing cells are reported, each with
 // its kernel/system context.
+//
+// With a Cache attached, the executor schedules cache-aware: all cells
+// are probed before the worker pool starts, hits are materialized
+// immediately (recorded as cached cells in the ledger), and only misses
+// — plus the deterministically sampled verification subset of the hits
+// — go through the pool.
 func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell, error) {
 	programs := make([]*workload.Program, len(kernels))
 	for i, kernel := range kernels {
@@ -103,17 +123,9 @@ func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell
 	}
 
 	n := len(kernels) * len(sysList)
-	workers := e.Par
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-
 	obsv := e.Obs
 	specs := make([]string, len(sysList))
-	if obsv != nil {
+	if obsv != nil || e.Cache != nil {
 		for i, sys := range sysList {
 			specs[i] = systems.Hash(sys)
 		}
@@ -122,14 +134,79 @@ func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell
 	type job struct {
 		ki, si  int
 		enqueue time.Time
+		// verify re-simulates a cell already served from the cache and
+		// compares against the cached result instead of storing it.
+		verify bool
 	}
 	cells := make([]Cell, n)
 	errs := make([]error, n) // disjoint slots; no mutex needed
+
+	// Cache probe phase: resolve every hit before the pool spins up, so
+	// a warm sweep never constructs a simulator. pending collects the
+	// jobs that still need a worker (misses, and hits sampled for
+	// verification); hits remembers what to report to the observer once
+	// it has begun.
+	type hit struct {
+		ki, si  int
+		probeNS int64
+		at      time.Time
+	}
+	var keys []rescache.Key
+	var pending []job
+	var hits []hit
+	if e.Cache != nil {
+		keys = make([]rescache.Key, n)
+		fps := make([]string, len(programs))
+		for i, p := range programs {
+			fps[i] = WorkloadFingerprint(p)
+		}
+		for ki, p := range programs {
+			for si := range sysList {
+				idx := ki*len(sysList) + si
+				keys[idx] = rescache.Key{Spec: specs[si], Kernel: p.Name, Workload: fps[ki]}
+				at := time.Now()
+				res, ok := e.Cache.Get(keys[idx])
+				if !ok {
+					pending = append(pending, job{ki: ki, si: si})
+					continue
+				}
+				// The hash is name-invariant: a differently-named file for
+				// the same point hits, so restamp the cell's own labels.
+				res.System, res.Kernel = sysList[si].Name, p.Name
+				cells[idx] = Cell{System: sysList[si].Name, Kernel: p.Name, Result: res}
+				hits = append(hits, hit{ki: ki, si: si, probeNS: int64(time.Since(at)), at: at})
+				if verifySampled(keys[idx], e.CacheVerify) {
+					pending = append(pending, job{ki: ki, si: si, verify: true})
+				}
+			}
+		}
+	} else {
+		pending = make([]job, 0, n)
+		for ki := range programs {
+			for si := range sysList {
+				pending = append(pending, job{ki: ki, si: si})
+			}
+		}
+	}
+
+	workers := e.Par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
 	// The queue is buffered to hold the whole sweep: the producer never
 	// blocks, so a job's enqueue instant is its true ready time and
 	// queue wait measures worker backlog, not producer pacing.
-	jobs := make(chan job, n)
-	obsv.begin(n, workers)
+	jobs := make(chan job, len(pending))
+	obsv.begin(n, workers, e.Cache)
+	for _, h := range hits {
+		si := h.si
+		obsv.cachedCell(sysList[si].Name, specs[si], programs[h.ki].Name,
+			cells[h.ki*len(sysList)+si].Result, h.probeNS, h.at)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -166,6 +243,19 @@ func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell
 						errs[idx] = fmt.Errorf("%s on %s: %w", p.Name, sys.Name, err)
 						continue
 					}
+					if j.verify {
+						if res != cells[idx].Result {
+							errs[idx] = fmt.Errorf("%s on %s: %w (key %s)",
+								p.Name, sys.Name, ErrCacheMismatch, keys[idx].Digest())
+						}
+						continue
+					}
+					// (miss) fill the cache before publishing the cell.
+					if e.Cache != nil {
+						// Write failures degrade to memory-only; the store
+						// latches them for the CLI to surface as a warning.
+						_ = e.Cache.Put(keys[idx], res)
+					}
 					cells[idx] = Cell{System: sys.Name, Kernel: p.Name, Result: res}
 				}
 				return
@@ -186,7 +276,11 @@ func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell
 			for j := range jobs {
 				idx := j.ki*len(sysList) + j.si
 				p, sys := programs[j.ki], sysList[j.si]
-				span := obsv.beginCell(w, sys.Name, specs[j.si], p.Name)
+				kind := "kernel"
+				if j.verify {
+					kind = "verify"
+				}
+				span := obsv.beginCell(w, sys.Name, specs[j.si], p.Name, kind)
 				started := time.Now()
 				s := sims[j.si]
 				if s == nil {
@@ -209,21 +303,30 @@ func (e Executor) RunSystems(sysList []systems.System, kernels []string) ([]Cell
 				s.SetRunSpan(span)
 				res, err := s.Run(p)
 				s.SetRunSpan(nil)
-				obsv.endCell(w, span, newCellRecord(sys.Name, specs[j.si], p.Name, res, err),
-					reg.Snapshot(), j.enqueue, started)
+				if j.verify && err == nil && res != cells[idx].Result {
+					err = fmt.Errorf("%w (key %s)", ErrCacheMismatch, keys[idx].Digest())
+				}
+				rec := newCellRecord(sys.Name, specs[j.si], p.Name, res, err)
+				rec.Verify = j.verify
+				obsv.endCell(w, span, rec, reg.Snapshot(), j.enqueue, started)
 				obsv.writeIntervalCSV(sys.Name, p.Name, sampler)
 				if err != nil {
 					errs[idx] = fmt.Errorf("%s on %s: %w", p.Name, sys.Name, err)
 					continue
 				}
+				if j.verify {
+					continue
+				}
+				if e.Cache != nil {
+					_ = e.Cache.Put(keys[idx], res)
+				}
 				cells[idx] = Cell{System: sys.Name, Kernel: p.Name, Result: res}
 			}
 		}(w)
 	}
-	for ki := range programs {
-		for si := range sysList {
-			jobs <- job{ki, si, time.Now()}
-		}
+	for _, j := range pending {
+		j.enqueue = time.Now()
+		jobs <- j
 	}
 	close(jobs)
 	wg.Wait()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"heteromem/internal/obs"
+	"heteromem/internal/rescache"
 	"heteromem/internal/sim"
 )
 
@@ -50,10 +51,15 @@ type Observer struct {
 	total    int
 	done     int
 	failed   int
+	cached   int
+	verified int
 	workers  []workerState
 	start    time.Time
 	err      error
 	finished bool
+	// cache is the sweep's result cache, when one is attached; Metrics
+	// and Progress read its counters live.
+	cache *rescache.Store
 }
 
 type workerState struct {
@@ -73,9 +79,20 @@ type CellRecord struct {
 	Kernel string `json:"kernel"`
 	Worker int    `json:"worker"`
 
-	QueueWaitNS int64  `json:"queue_wait_ns"`
-	WallNS      int64  `json:"wall_ns"`
-	Err         string `json:"err,omitempty"`
+	// QueueWaitNS and WallNS are integer nanoseconds, never a coarser
+	// unit: a cached cell resolves in sub-microsecond host time and must
+	// remain distinguishable from a fast miss, which millisecond (or
+	// float-second) rounding would collapse to 0.
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	WallNS      int64 `json:"wall_ns"`
+	// Cached marks a cell served from the result cache without running a
+	// simulator; ProbeNS is the cache-probe time for that cell. Verify
+	// marks a re-simulation of a cached cell by the -cache-verify
+	// determinism tripwire (not counted toward sweep progress).
+	Cached  bool   `json:"cached,omitempty"`
+	ProbeNS int64  `json:"probe_ns,omitempty"`
+	Verify  bool   `json:"verify,omitempty"`
+	Err     string `json:"err,omitempty"`
 
 	SequentialPS    uint64  `json:"sequential_ps"`
 	ParallelPS      uint64  `json:"parallel_ps"`
@@ -97,18 +114,26 @@ type WorkerProgress struct {
 
 // SweepProgress is the live progress document served at /progress.
 type SweepProgress struct {
-	Total       int              `json:"total"`
-	Done        int              `json:"done"`
-	Failed      int              `json:"failed"`
-	ElapsedSec  float64          `json:"elapsed_s"`
-	ETASec      float64          `json:"eta_s"`
-	CellsPerSec float64          `json:"cells_per_sec"`
-	Workers     []WorkerProgress `json:"workers"`
+	Total       int     `json:"total"`
+	Done        int     `json:"done"`
+	Failed      int     `json:"failed"`
+	ElapsedSec  float64 `json:"elapsed_s"`
+	ETASec      float64 `json:"eta_s"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// Cache fields are present only when the sweep runs with a result
+	// cache: cells served from the cache, cells verified against it,
+	// and the store's own hit rate over all probes.
+	CacheOn       bool             `json:"cache,omitempty"`
+	CachedCells   int              `json:"cached_cells,omitempty"`
+	VerifiedCells int              `json:"verified_cells,omitempty"`
+	CacheHitRate  float64          `json:"cache_hit_rate,omitempty"`
+	Workers       []WorkerProgress `json:"workers"`
 }
 
 // begin opens the sweep: records the start instant, sizes the worker
-// table, and writes the root span. Called once by RunSystems.
-func (o *Observer) begin(totalCells, workers int) {
+// table, attaches the result cache (if any), and writes the root span.
+// Called once by RunSystems.
+func (o *Observer) begin(totalCells, workers int, cache *rescache.Store) {
 	if o == nil {
 		return
 	}
@@ -117,6 +142,8 @@ func (o *Observer) begin(totalCells, workers int) {
 	o.start = time.Now()
 	o.total = totalCells
 	o.done, o.failed = 0, 0
+	o.cached, o.verified = 0, 0
+	o.cache = cache
 	o.finished = false
 	o.workers = make([]workerState, workers)
 	o.points = make(map[string]*obs.Span)
@@ -126,27 +153,67 @@ func (o *Observer) begin(totalCells, workers int) {
 		name = "sweep"
 	}
 	o.sweep = o.Ledger.Root("sweep", name)
+	if cache != nil {
+		o.Trace.SetTrack(0, "cache")
+	}
 	for w := 0; w < workers; w++ {
 		o.Trace.SetTrack(w+1, fmt.Sprintf("worker %d", w))
 	}
 }
 
+// pointLocked returns (lazily creating) the design point's span.
+// Callers hold o.mu.
+func (o *Observer) pointLocked(system string) *obs.Span {
+	point := o.points[system]
+	if point == nil {
+		point = o.sweep.Child("point", system)
+		o.points[system] = point
+	}
+	return point
+}
+
 // beginCell marks worker w busy on (system, kernel) and opens the cell's
-// kernel span beneath the system's (lazily created) point span. The
+// span (kind "kernel" for a simulation, "verify" for a cache-verify
+// re-simulation) beneath the system's lazily created point span. The
 // returned span parents the simulator's phase spans via SetRunSpan.
-func (o *Observer) beginCell(w int, system, spec, kernel string) *obs.Span {
+func (o *Observer) beginCell(w int, system, spec, kernel, kind string) *obs.Span {
 	if o == nil {
 		return nil
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.workers[w].current = system + "/" + kernel
-	point := o.points[system]
-	if point == nil {
-		point = o.sweep.Child("point", system)
-		o.points[system] = point
+	return o.pointLocked(system).Child(kind, kernel)
+}
+
+// cachedCell records a cell served from the result cache: one ledger
+// record with cached:true, a closed kernel span, a slice on the cache
+// trace track, and a progress bump. No worker ran it, so worker state
+// and the metric aggregate are untouched.
+func (o *Observer) cachedCell(system, spec, kernel string, res sim.Result, probeNS int64, started time.Time) {
+	if o == nil {
+		return
 	}
-	return point.Child("kernel", kernel)
+	end := time.Now()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	span := o.pointLocked(system).Child("kernel", kernel)
+	rec := newCellRecord(system, spec, kernel, res, nil)
+	rec.T = "cell"
+	rec.Span = span.ID()
+	rec.Worker = -1
+	rec.Cached = true
+	rec.ProbeNS = probeNS
+	rec.WallNS = end.Sub(started).Nanoseconds()
+	o.done++
+	o.cached++
+	if err := o.Ledger.Append(rec); err != nil && o.err == nil {
+		o.err = err
+	}
+	span.End(map[string]any{"cached": true, "total_ps": rec.TotalPS})
+	o.Trace.Span(0, system+"/"+kernel, "cached",
+		hostPS(o.start, started), hostPS(o.start, end),
+		map[string]any{"probe_ns": probeNS})
 }
 
 // endCell completes a cell: merges the worker registry's snapshot into
@@ -166,7 +233,13 @@ func (o *Observer) endCell(w int, span *obs.Span, rec CellRecord, snap obs.Snaps
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.agg.Merge(snap)
-	o.done++
+	if rec.Verify {
+		// A verify re-run duplicates a cell already counted as cached;
+		// it advances worker accounting but not sweep progress.
+		o.verified++
+	} else {
+		o.done++
+	}
 	if rec.Err != "" {
 		o.failed++
 	}
@@ -178,6 +251,9 @@ func (o *Observer) endCell(w int, span *obs.Span, rec CellRecord, snap obs.Snaps
 		o.err = err
 	}
 	attrs := map[string]any{"worker": w, "total_ps": rec.TotalPS}
+	if rec.Verify {
+		attrs["verify"] = true
+	}
 	if rec.Err != "" {
 		attrs["err"] = rec.Err
 	}
@@ -199,7 +275,12 @@ func (o *Observer) finish() {
 	for _, p := range o.points {
 		p.End(nil)
 	}
-	o.sweep.End(map[string]any{"cells": o.done, "failed": o.failed})
+	attrs := map[string]any{"cells": o.done, "failed": o.failed}
+	if o.cache != nil {
+		attrs["cached"] = o.cached
+		attrs["verified"] = o.verified
+	}
+	o.sweep.End(attrs)
 	if err := o.Ledger.Err(); err != nil && o.err == nil {
 		o.err = err
 	}
@@ -248,6 +329,12 @@ func (o *Observer) Progress() SweepProgress {
 		p.CellsPerSec = float64(o.done) / elapsed.Seconds()
 		p.ETASec = float64(o.total-o.done) / p.CellsPerSec
 	}
+	if o.cache != nil {
+		p.CacheOn = true
+		p.CachedCells = o.cached
+		p.VerifiedCells = o.verified
+		p.CacheHitRate = o.cache.Stats().HitRate()
+	}
 	for i := range o.workers {
 		ws := o.workers[i]
 		wp := WorkerProgress{ID: i, Current: ws.current, Done: ws.done, BusySec: ws.busy.Seconds()}
@@ -274,6 +361,13 @@ func (o *Observer) Metrics() obs.Snapshot {
 	out.Counters["sweep.cells.total"] = uint64(o.total)
 	out.Counters["sweep.cells.done"] = uint64(o.done)
 	out.Counters["sweep.cells.failed"] = uint64(o.failed)
+	if o.cache != nil {
+		out.Counters["sweep.cells.cached"] = uint64(o.cached)
+		out.Counters["sweep.cells.verified"] = uint64(o.verified)
+		for name, v := range o.cache.Stats().Counters() {
+			out.Counters[name] = v
+		}
+	}
 	return out
 }
 

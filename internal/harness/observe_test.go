@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"heteromem/internal/obs"
+	"heteromem/internal/sim"
 	"heteromem/internal/systems"
 )
 
@@ -201,9 +202,10 @@ func TestObservedSweepIntervalCSVs(t *testing.T) {
 
 func TestNilObserverIsNoop(t *testing.T) {
 	var o *Observer
-	o.begin(1, 1)
-	span := o.beginCell(0, "s", "spec", "k")
+	o.begin(1, 1, nil)
+	span := o.beginCell(0, "s", "spec", "k", "kernel")
 	o.endCell(0, span, CellRecord{}, obs.Snapshot{}, time.Time{}, time.Time{})
+	o.cachedCell("s", "spec", "k", sim.Result{}, 0, time.Time{})
 	o.finish()
 	if err := o.Err(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,323 @@
+// Package rescache is a persistent, content-addressed cache of
+// simulation results. The simulator is deterministic — PR 2's Reset()
+// bit-identity proof means the same design point, kernel and options
+// always produce the same sim.Result — so memoizing results is *exact*:
+// a cache hit returns the very bytes a fresh simulation would compute,
+// and repeated design-space traffic (search drivers revisiting points,
+// warm re-runs of a sweep, a simulation service under load) becomes
+// nearly free.
+//
+// The store is two-tier:
+//
+//   - an in-process sharded map, keyed by the point digest, serving
+//     repeat probes within one process without touching the disk;
+//   - an optional on-disk content-addressed directory of canonical-JSON
+//     result blobs under <dir>/v<schema>/<dd>/<digest>.json, written
+//     atomically (temp file + rename) so concurrent writers racing on
+//     the same key converge to one well-formed blob.
+//
+// Every blob is wrapped in a versioned envelope carrying the schema
+// version and the full key. A schema bump, a truncated or corrupt blob,
+// or a digest collision all read back as a clean miss — never as a
+// wrong result — and the next Put rewrites the entry.
+package rescache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heteromem/internal/sim"
+)
+
+// SchemaVersion is the result-blob schema. Bump it whenever sim.Result
+// gains or changes fields, or whenever simulator semantics change in a
+// way that alters results without changing the design-point spec: stale
+// entries then miss cleanly instead of serving pre-change results.
+const SchemaVersion = 1
+
+// Key identifies one simulation exactly: two cells collide iff they are
+// bit-identically the same simulation. Spec is the canonical design-point
+// hash (systems.Hash — model, fabric, protocol, granularity, params,
+// mem-tech, translation); Kernel and Workload pin the program identity
+// and its generated shape; Options fingerprints any sim.Options that
+// alter results (empty for the baseline sweep configuration).
+type Key struct {
+	Spec     string `json:"spec"`
+	Kernel   string `json:"kernel"`
+	Workload string `json:"workload"`
+	Options  string `json:"options,omitempty"`
+}
+
+// Digest returns the key's content address: the sha256 of its canonical
+// JSON encoding, in hex. The digest deliberately excludes the schema
+// version — versioning lives in the on-disk layout (v<schema>/) and the
+// envelope, so a schema bump retires old entries without recomputing
+// addresses.
+func (k Key) Digest() string {
+	data, err := json.Marshal(k)
+	if err != nil {
+		// Keys are plain strings; Marshal cannot fail.
+		panic("rescache: marshaling key: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// envelope is the on-disk blob format: the schema version and the full
+// key ride with the result, so a read verifies it is decoding exactly
+// what the prober asked for before trusting the payload.
+type envelope struct {
+	Schema int        `json:"schema"`
+	Key    Key        `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// Stats is a point-in-time copy of the store's counters.
+type Stats struct {
+	// Hits and Misses count probes; Hits = MemHits + DiskHits.
+	Hits, Misses      uint64
+	MemHits, DiskHits uint64
+	// Puts counts stores; Corrupt counts disk entries that failed to
+	// decode or verify and were treated as misses.
+	Puts, Corrupt uint64
+	// BytesRead and BytesWritten count disk blob traffic.
+	BytesRead, BytesWritten uint64
+	// ProbeNS is the cumulative host time spent inside Get.
+	ProbeNS uint64
+}
+
+// HitRate returns hits over probes, or 0 with no probes.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+const numShards = 64
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]sim.Result
+}
+
+// Store is the two-tier result cache. All methods are safe for
+// concurrent use by sweep workers; a nil *Store disables caching (Get
+// always misses without counting, Put is a no-op).
+type Store struct {
+	dir    string // "" = memory-only
+	schema int    // SchemaVersion; tests override to simulate bumps
+	shards [numShards]shard
+
+	hits, misses      atomic.Uint64
+	memHits, diskHits atomic.Uint64
+	puts, corrupt     atomic.Uint64
+	bytesRead         atomic.Uint64
+	bytesWritten      atomic.Uint64
+	probeNS           atomic.Uint64
+	writeErr          atomic.Pointer[error]
+}
+
+// Open returns a store backed by the content-addressed directory dir,
+// creating it (and the current schema-version subdirectory) as needed.
+// An empty dir opens a memory-only store.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, schema: SchemaVersion}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]sim.Result)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(s.versionDir(), 0o755); err != nil {
+			return nil, fmt.Errorf("rescache: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's on-disk root ("" for memory-only).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+func (s *Store) versionDir() string {
+	return filepath.Join(s.dir, fmt.Sprintf("v%d", s.schema))
+}
+
+// blobPath fans the CAS out on the digest's first byte so no single
+// directory accumulates the whole design space.
+func (s *Store) blobPath(digest string) string {
+	return filepath.Join(s.versionDir(), digest[:2], digest+".json")
+}
+
+func (s *Store) shardFor(digest string) *shard {
+	// The digest is lowercase hex; fold its first two characters into
+	// a shard index.
+	return &s.shards[(hexVal(digest[0])*16+hexVal(digest[1]))%numShards]
+}
+
+func hexVal(c byte) int {
+	if c >= 'a' {
+		return int(c-'a') + 10
+	}
+	return int(c - '0')
+}
+
+// Get probes both tiers for the key's result. A disk hit is promoted
+// into the memory tier. Any undecodable, truncated, schema-stale or
+// key-mismatched blob counts as a miss (and as Corrupt when the file
+// existed but failed verification).
+func (s *Store) Get(key Key) (sim.Result, bool) {
+	if s == nil {
+		return sim.Result{}, false
+	}
+	start := time.Now()
+	defer func() { s.probeNS.Add(uint64(time.Since(start).Nanoseconds())) }()
+
+	digest := key.Digest()
+	sh := s.shardFor(digest)
+	sh.mu.RLock()
+	res, ok := sh.m[digest]
+	sh.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+		s.memHits.Add(1)
+		return res, true
+	}
+	if s.dir == "" {
+		s.misses.Add(1)
+		return sim.Result{}, false
+	}
+	data, err := os.ReadFile(s.blobPath(digest))
+	if err != nil {
+		s.misses.Add(1)
+		return sim.Result{}, false
+	}
+	s.bytesRead.Add(uint64(len(data)))
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil ||
+		env.Schema != s.schema || env.Key != key {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return sim.Result{}, false
+	}
+	sh.mu.Lock()
+	sh.m[digest] = env.Result
+	sh.mu.Unlock()
+	s.hits.Add(1)
+	s.diskHits.Add(1)
+	return env.Result, true
+}
+
+// Put stores the result under the key in both tiers. The disk blob is
+// written to a temp file and renamed into place, so concurrent workers
+// racing on the same key each install a complete blob and the last
+// rename wins — with deterministic results, all racers carry identical
+// bytes. Disk errors are returned and also latched for Err(); the memory
+// tier is always updated, so a failing disk never poisons correctness.
+func (s *Store) Put(key Key, res sim.Result) error {
+	if s == nil {
+		return nil
+	}
+	digest := key.Digest()
+	sh := s.shardFor(digest)
+	sh.mu.Lock()
+	sh.m[digest] = res
+	sh.mu.Unlock()
+	s.puts.Add(1)
+	if s.dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(envelope{Schema: s.schema, Key: key, Result: res})
+	if err != nil {
+		return s.latch(fmt.Errorf("rescache: encoding %s: %w", digest, err))
+	}
+	data = append(data, '\n')
+	path := s.blobPath(digest)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return s.latch(fmt.Errorf("rescache: %w", err))
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+digest+".tmp-*")
+	if err != nil {
+		return s.latch(fmt.Errorf("rescache: %w", err))
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return s.latch(fmt.Errorf("rescache: writing %s: %w", path, err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return s.latch(fmt.Errorf("rescache: writing %s: %w", path, err))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return s.latch(fmt.Errorf("rescache: %w", err))
+	}
+	s.bytesWritten.Add(uint64(len(data)))
+	return nil
+}
+
+// latch records the first disk-write error for Err and returns err.
+func (s *Store) latch(err error) error {
+	s.writeErr.CompareAndSwap(nil, &err)
+	return err
+}
+
+// Err returns the first disk-write error the store encountered, if any.
+// Write failures degrade the store to its memory tier; they never fail
+// a sweep.
+func (s *Store) Err() error {
+	if s == nil {
+		return nil
+	}
+	if p := s.writeErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters. Safe to call while
+// workers probe and fill.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		MemHits:      s.memHits.Load(),
+		DiskHits:     s.diskHits.Load(),
+		Puts:         s.puts.Load(),
+		Corrupt:      s.corrupt.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		ProbeNS:      s.probeNS.Load(),
+	}
+}
+
+// Counters exports the store's statistics in the observability
+// registry's flat counter form, under the rescache.* namespace.
+func (s Stats) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"rescache.hits":          s.Hits,
+		"rescache.misses":        s.Misses,
+		"rescache.mem_hits":      s.MemHits,
+		"rescache.disk_hits":     s.DiskHits,
+		"rescache.puts":          s.Puts,
+		"rescache.corrupt":       s.Corrupt,
+		"rescache.bytes":         s.BytesRead + s.BytesWritten,
+		"rescache.bytes_read":    s.BytesRead,
+		"rescache.bytes_written": s.BytesWritten,
+		"rescache.probe_ns":      s.ProbeNS,
+	}
+}
